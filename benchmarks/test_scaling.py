@@ -1,0 +1,66 @@
+"""The paper's closing claim: "7b does better scale with increasing
+parallelism".
+
+Sweeps the number of software processors for both VTA mappings.  The
+bus-only architecture's IDWT path degrades as processors are added (they
+all compete for the OPB), while the point-to-point mapping keeps it flat —
+and by eight processors the difference reaches the overall decode time.
+"""
+
+import pytest
+
+from repro.casestudy import paper_workload
+from repro.casestudy.vta_versions import scaled_parallel_version
+from repro.reporting import Table
+
+TASK_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    workload = paper_workload(True)
+    results = {}
+    for num_tasks in TASK_COUNTS:
+        for p2p in (False, True):
+            model = scaled_parallel_version(num_tasks, p2p)(workload)
+            report = model.run()
+            results[(num_tasks, p2p)] = (report.decode_ms, model.idwt_metrics.busy_ms)
+    return results
+
+
+def test_scaling_sweep(benchmark, sweep, emit):
+    benchmark.pedantic(
+        lambda: scaled_parallel_version(8, True)(paper_workload(True)).run(),
+        iterations=1,
+        rounds=1,
+    )
+    table = Table(
+        [
+            "processors",
+            "bus-only decode [ms]", "bus-only IDWT [ms]",
+            "P2P decode [ms]", "P2P IDWT [ms]",
+        ],
+        title="Scaling with parallelism - 7a-style (bus) vs 7b-style (P2P)",
+    )
+    for num_tasks in TASK_COUNTS:
+        bus = sweep[(num_tasks, False)]
+        p2p = sweep[(num_tasks, True)]
+        table.add_row(num_tasks, bus[0], bus[1], p2p[0], p2p[1])
+    emit(table, "scaling_parallelism")
+
+    # The P2P IDWT path is independent of the processor count ...
+    p2p_idwt = [sweep[(n, True)][1] for n in TASK_COUNTS]
+    assert max(p2p_idwt) < min(p2p_idwt) * 1.10
+    # ... while the bus-only path degrades beyond two processors ...
+    assert sweep[(8, False)][1] > sweep[(2, False)][1] * 1.3
+    # ... and at eight processors the bus mapping is slower end to end.
+    assert sweep[(8, False)][0] > sweep[(8, True)][0]
+
+
+def test_decode_time_scales_with_processors(benchmark, sweep):
+    """Software parallelism itself behaves (near-Amdahl) in both mappings."""
+    benchmark.pedantic(lambda: sweep[(1, True)], iterations=1, rounds=1)
+    for p2p in (False, True):
+        one = sweep[(1, p2p)][0]
+        eight = sweep[(8, p2p)][0]
+        assert 5.5 < one / eight < 8.5

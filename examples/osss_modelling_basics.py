@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""OSSS modelling basics: Shared Objects, guards, EETs.
+
+A miniature Application-Layer model in the style of the OSSS tutorial: a
+producer software task and a consumer hardware module communicate through
+a guarded Shared Object, with estimated execution times annotating the
+computation.  This is the modelling vocabulary the JPEG 2000 case study
+is built from.
+
+Run:  python examples/osss_modelling_basics.py
+"""
+
+from repro.core import (
+    FunctionTask,
+    OsssModule,
+    RoundRobin,
+    SharedObject,
+    guarded,
+    osss_method,
+)
+from repro.kernel import Simulator, ms, us
+
+
+class FrameQueue:
+    """The Shared Object behaviour: a bounded queue with a computation.
+
+    Guards express condition synchronisation declaratively — `pop` is
+    simply not eligible while the queue is empty, `push` while it is full.
+    The `checksum` method shows the OSSS idea of computing *inside* the
+    object (the case study's IQ lives in its tile store the same way).
+    """
+
+    def __init__(self, capacity: int = 2):
+        self.capacity = capacity
+        self.frames: list[int] = []
+        self.pushed = 0
+
+    @osss_method(guard=guarded(lambda self: len(self.frames) < self.capacity),
+                 eet=us(2))
+    def push(self, frame: int):
+        self.frames.append(frame)
+        self.pushed += 1
+
+    @osss_method(guard=guarded(lambda self: bool(self.frames)), eet=us(2))
+    def pop(self) -> int:
+        return self.frames.pop(0)
+
+    @osss_method(eet=us(40))
+    def checksum(self) -> int:
+        return sum(self.frames) & 0xFFFF
+
+
+class Camera(FunctionTask):
+    """A software task producing frames every 5 ms."""
+
+    def __init__(self, sim, queue_object):
+        super().__init__(sim, "camera", self._run)
+        self.out = self.port("out")
+        self.out.bind(queue_object)
+
+    def _run(self, task):
+        for frame in range(8):
+            yield from task.eet(ms(5))  # capture + preprocess
+            yield from self.out.call("push", frame)
+            print(f"[{task.sim.now}] camera pushed frame {frame}")
+
+
+class Filter(OsssModule):
+    """A hardware module consuming frames (two concurrent processes)."""
+
+    def __init__(self, sim, queue_object):
+        super().__init__(sim, "filter")
+        self.inp = self.port("in")
+        self.inp.bind(queue_object)
+        self.done = []
+
+    def start(self):
+        self.add_thread(self._consume, name="consume")
+        self.add_thread(self._monitor, name="monitor")
+
+    def _consume(self):
+        for _ in range(8):
+            frame = yield from self.inp.call("pop")
+            yield from self.eet(ms(2))  # the filter kernel in hardware
+            self.done.append(frame)
+            print(f"[{self.sim.now}] filter finished frame {frame}")
+
+    def _monitor(self):
+        # A second client of the same object: contends under round-robin.
+        for _ in range(3):
+            yield ms(11)
+            value = yield from self.inp.call("checksum")
+            print(f"[{self.sim.now}] monitor checksum {value:#06x}")
+
+
+def main() -> None:
+    sim = Simulator()
+    queue = SharedObject(sim, "frame_queue", FrameQueue(), policy=RoundRobin())
+    camera = Camera(sim, queue)
+    filt = Filter(sim, queue)
+    camera.start()
+    filt.start()
+    sim.run()
+    print(f"\nsimulation finished at {sim.now}")
+    print(f"frames processed in order: {filt.done}")
+    print(f"shared object statistics:  {queue.stats}")
+    assert filt.done == list(range(8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quality layers: one codestream, many operating points.
+
+JPEG 2000's embedded quality layers let a single compressed stream serve
+several rate/quality targets — a transcoder (or a struggling network) just
+stops forwarding packets after layer N.  This extension of the paper's
+decoder demonstrates the library's layered Tier-2 implementation: encode
+once with five layers, then decode every prefix.
+
+Run:  python examples/quality_scalability.py
+"""
+
+from repro.jpeg2000 import (
+    CodingParameters,
+    Jpeg2000Decoder,
+    encode_image,
+    synthetic_image,
+)
+from repro.reporting import Table
+
+
+def main() -> None:
+    image = synthetic_image(128, 128, 3, seed=7)
+    params = CodingParameters(
+        width=128,
+        height=128,
+        num_components=3,
+        tile_width=64,
+        tile_height=64,
+        num_levels=3,
+        lossless=False,
+        num_layers=5,
+        base_step=1 / 8,
+    )
+    codestream = encode_image(image, params)
+    raw = image.width * image.height * 3
+    print(f"encoded once: {len(codestream)} bytes "
+          f"({8 * len(codestream) / raw:.2f} bpp), 5 quality layers\n")
+
+    table = Table(
+        ["layers decoded", "PSNR [dB]", "entropy ops", "relative work"],
+        title="Prefix decoding of one layered codestream",
+    )
+    baseline_ops = None
+    for count in range(1, 6):
+        decoder = Jpeg2000Decoder(codestream, max_layers=count)
+        decoded = decoder.decode()
+        ops = decoder.ops["arith"]
+        if baseline_ops is None:
+            baseline_ops = ops
+        table.add_row(
+            f"{count} / 5",
+            decoded.psnr(image),
+            ops,
+            f"{ops / baseline_ops:.2f}x",
+        )
+    print(table.render())
+    print("fewer layers -> fewer arithmetic-decoder operations -> exactly the")
+    print("knob the case study's dominant pipeline stage (Fig. 1) would turn")
+    print("on a constrained target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: the build environment has no `wheel` package, so editable
+installs must go through `setup.py develop`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,160 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Regenerates any paper artefact from the terminal without writing a
+script — the quick path for anyone auditing the reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig1(args) -> int:
+    from .casestudy import (
+        CYCLES_PER_OP,
+        PAPER_SHARES_LOSSLESS,
+        PAPER_SHARES_LOSSY,
+        measured_shares,
+    )
+    from .jpeg2000 import ALL_STAGES, CodingParameters, Jpeg2000Decoder, encode_image, synthetic_image
+    from .reporting import Table
+
+    table = Table(
+        ["stage", "paper ll [%]", "measured ll [%]", "paper ly [%]", "measured ly [%]"],
+        title="Figure 1 - SW decoder profile",
+    )
+    measured = {}
+    for lossless in (True, False):
+        image = synthetic_image(args.size, args.size, 3, seed=2008)
+        params = CodingParameters(
+            width=args.size, height=args.size, num_components=3,
+            tile_width=min(128, args.size), tile_height=min(128, args.size),
+            num_levels=3, lossless=lossless, base_step=1 / 8,
+        )
+        decoder = Jpeg2000Decoder(encode_image(image, params))
+        decoder.decode()
+        measured[lossless] = measured_shares(decoder.ops, CYCLES_PER_OP)
+    for stage in ALL_STAGES:
+        table.add_row(
+            stage,
+            PAPER_SHARES_LOSSLESS[stage], measured[True][stage],
+            PAPER_SHARES_LOSSY[stage], measured[False][stage],
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .casestudy import ROW_LABELS, build_table1
+    from .reporting import Table
+
+    table1 = build_table1(versions=args.versions)
+    table = Table(
+        ["ver", "model", "lossless [ms]", "lossy [ms]", "IDWT ll [ms]", "IDWT ly [ms]"],
+        title="Table 1 - simulation results (16 tiles x 3 components @ 100 MHz)",
+    )
+    for row in table1.rows:
+        if row.version == "6a":
+            table.add_separator()
+        table.add_row(
+            row.version, ROW_LABELS[row.version],
+            row.decode_ms["lossless"], row.decode_ms["lossy"],
+            row.idwt_ms["lossless"], row.idwt_ms["lossy"],
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .fossy import synthesise_system
+    from .reporting import Table
+
+    system = synthesise_system()
+    table = Table(
+        ["metric", "53 FOSSY", "53 ref", "97 FOSSY", "97 ref"],
+        title="Table 2 - RTL synthesis results (Virtex-4 LX25 estimates)",
+    )
+    b53, b97 = system.block("idwt53"), system.block("idwt97")
+    for label, attr in (
+        ("slice flip flops", "flip_flops"),
+        ("4-input LUTs", "luts"),
+        ("occupied slices", "slices"),
+        ("equivalent gates", "gate_count"),
+        ("est. frequency [MHz]", "frequency_mhz"),
+    ):
+        table.add_row(
+            label,
+            getattr(b53.fossy_report, attr), getattr(b53.reference_report, attr),
+            getattr(b97.fossy_report, attr), getattr(b97.reference_report, attr),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_loc(args) -> int:
+    from .fossy import build_idwt53, build_idwt97, synthesise_block
+    from .reporting import Table
+
+    table = Table(
+        ["artefact", "paper [LoC]", "measured"],
+        title="Section 4 - code size comparison",
+    )
+    paper = {"idwt53": (404, 356, 2231), "idwt97": (948, 903, 4225)}
+    for build in (build_idwt53, build_idwt97):
+        block = synthesise_block(build())
+        ref, model, fossy = paper[block.name]
+        table.add_row(f"{block.name} reference VHDL", ref, block.reference_loc)
+        table.add_row(f"{block.name} behavioural model", model, block.model_statements)
+        table.add_row(f"{block.name} FOSSY VHDL", fossy, block.fossy_loc)
+    print(table.render())
+    return 0
+
+
+def _cmd_version(args) -> int:
+    from .casestudy import run_version
+
+    report = run_version(args.name, lossless=not args.lossy, functional=args.functional)
+    print(report)
+    if args.functional and report.image is not None:
+        print("functional decode produced an image "
+              f"({report.image.width}x{report.image.height})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OSSS/FOSSY JPEG 2000 decoder reproduction (DATE 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig1 = sub.add_parser("fig1", help="reconstruct the Fig. 1 profile")
+    p_fig1.add_argument("--size", type=int, default=256,
+                        help="profiling image edge length (default 256)")
+    p_fig1.set_defaults(func=_cmd_fig1)
+
+    p_t1 = sub.add_parser("table1", help="reconstruct Table 1 (all versions)")
+    p_t1.add_argument("--versions", nargs="*", default=None,
+                      help="subset of versions (default: all nine)")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="reconstruct Table 2 (synthesis)")
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_loc = sub.add_parser("loc", help="reconstruct the code-size comparison")
+    p_loc.set_defaults(func=_cmd_loc)
+
+    p_run = sub.add_parser("run", help="simulate one design version")
+    p_run.add_argument("name", choices=["1", "2", "3", "4", "5", "6a", "6b", "7a", "7b"])
+    p_run.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
+    p_run.add_argument("--functional", action="store_true",
+                       help="really decode a codestream through the model")
+    p_run.set_defaults(func=_cmd_version)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Design-space exploration driver: run versions, rebuild Table 1.
+
+``run_version`` executes any of the nine models; ``build_table1`` runs the
+whole matrix (both modes) and returns the reconstruction of the paper's
+Table 1, including derived columns (speed-up vs. version 1) and the shape
+relations the paper states in prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .versions import APPLICATION_VERSIONS, DecodingReport
+from .vta_versions import VTA_VERSIONS
+from .workload import Workload, functional_workload, paper_workload
+
+#: All model versions, in Table 1 row order.
+ALL_VERSIONS = {**APPLICATION_VERSIONS, **VTA_VERSIONS}
+
+#: Table 1 row labels (paper wording).
+ROW_LABELS = {
+    "1": "SW only",
+    "2": "HW/SW not parallel",
+    "3": "HW/SW parallel (3 IDWT modules)",
+    "4": "SW parallel (cp. 2)",
+    "5": "SW & HW/SW parallel (cp. 3)",
+    "6a": "HW/SW SO connected to bus only",
+    "6b": "HW/SW SO connected to bus & P2P",
+    "7a": "SW par., HW/SW SO on bus only",
+    "7b": "SW par., HW/SW SO on bus & P2P",
+}
+
+
+def run_version(
+    version: str,
+    lossless: bool,
+    workload: Optional[Workload] = None,
+    functional: bool = False,
+) -> DecodingReport:
+    """Build and simulate one model version; returns its report."""
+    if version not in ALL_VERSIONS:
+        raise KeyError(f"unknown version {version!r}; pick one of {sorted(ALL_VERSIONS)}")
+    if workload is None:
+        workload = (
+            functional_workload(lossless) if functional else paper_workload(lossless)
+        )
+    model = ALL_VERSIONS[version](workload)
+    return model.run()
+
+
+@dataclass
+class Table1Row:
+    """One row of the reconstructed Table 1."""
+
+    version: str
+    label: str
+    layer: str  # "application" or "vta"
+    decode_ms: dict = field(default_factory=dict)  # mode -> ms
+    idwt_ms: dict = field(default_factory=dict)
+
+    def speedup(self, baseline: "Table1Row", mode: str) -> float:
+        return baseline.decode_ms[mode] / self.decode_ms[mode]
+
+
+@dataclass
+class Table1:
+    """The full reconstruction, with the paper's prose relations checked."""
+
+    rows: list
+
+    def row(self, version: str) -> Table1Row:
+        for row in self.rows:
+            if row.version == version:
+                return row
+        raise KeyError(version)
+
+    def shape_relations(self) -> dict:
+        """The quantitative relations the paper asserts around Table 1."""
+        get = self.row
+        relations = {}
+        for mode in ("lossless", "lossy"):
+            v1, v2, v3 = get("1"), get("2"), get("3")
+            v4, v5 = get("4"), get("5")
+            v6a, v6b = get("6a"), get("6b")
+            v7a, v7b = get("7a"), get("7b")
+            relations[mode] = {
+                # "a speed-up of about 10/19% compared to 1"
+                "v2_speedup": v2.speedup(v1, mode),
+                # "this effort only has a small impact"
+                "v3_vs_v2": v2.decode_ms[mode] / v3.decode_ms[mode],
+                # "an acceptable speedup by a factor of 4.5/5"
+                "v4_speedup": v4.speedup(v1, mode),
+                "v5_speedup": v5.speedup(v1, mode),
+                # "the IDWT time is increased significantly (up to a factor of 8)"
+                "idwt_6a_vs_3": v6a.idwt_ms[mode] / v3.idwt_ms[mode],
+                # "in 7a the IDWT time is increased even more than in 6a"
+                "idwt_7a_vs_6a": v7a.idwt_ms[mode] / v6a.idwt_ms[mode],
+                # "the IDWT times of 6b and 7b are equal"
+                "idwt_7b_vs_6b": v7b.idwt_ms[mode] / v6b.idwt_ms[mode],
+                # "a speed-up by a factor of 12/16 for the IDWT in HW"
+                "idwt_speedup_6b": v1.idwt_ms[mode] / v6b.idwt_ms[mode],
+                "idwt_speedup_7b": v1.idwt_ms[mode] / v7b.idwt_ms[mode],
+            }
+        return relations
+
+
+def build_table1(versions=None) -> Table1:
+    """Simulate every version in both modes and assemble Table 1."""
+    names = list(versions) if versions is not None else list(ALL_VERSIONS)
+    rows = []
+    for version in names:
+        layer = "application" if version in APPLICATION_VERSIONS else "vta"
+        row = Table1Row(version=version, label=ROW_LABELS[version], layer=layer)
+        for lossless in (True, False):
+            mode = "lossless" if lossless else "lossy"
+            report = run_version(version, lossless)
+            row.decode_ms[mode] = report.decode_ms
+            row.idwt_ms[mode] = report.idwt_ms
+        rows.append(row)
+    return Table1(rows=rows)

@@ -1,0 +1,72 @@
+"""``repro.core`` — the OSSS Application Layer modelling library.
+
+This is the paper's primary contribution, part 1: a synthesisable system
+description vocabulary on top of the simulation kernel — hardware modules,
+single-process Software Tasks, passive Shared Objects with guarded and
+arbitrated method-based communication, EET/RET timing annotations, and the
+serialisation machinery that later feeds the VTA channels.
+"""
+
+from .arbiter import (
+    ArbitrationPolicy,
+    Fcfs,
+    LeastRecentlyServed,
+    Request,
+    RoundRobin,
+    StaticPriority,
+)
+from .datatypes import AccessCounter, IntN, OsssArray, UIntN
+from .guards import ALWAYS, Guard, guarded, guarded_args
+from .interfaces import BindingError, OsssInterface, Port
+from .module import OsssModule
+from .serialisation import (
+    DEFAULT_SCALAR_BITS,
+    Serialisable,
+    SerialisationError,
+    SerialisedPayload,
+    payload_bits,
+    register_payload_type,
+    serialise_call,
+)
+from .shared import ClientHandle, MethodSpec, SharedObject, SharedObjectStats, osss_method
+from .task import FunctionTask, SoftwareTask
+from .timing import CycleBudget, RetViolation, eet, ret
+
+__all__ = [
+    "ALWAYS",
+    "AccessCounter",
+    "ArbitrationPolicy",
+    "BindingError",
+    "ClientHandle",
+    "CycleBudget",
+    "DEFAULT_SCALAR_BITS",
+    "Fcfs",
+    "FunctionTask",
+    "Guard",
+    "IntN",
+    "LeastRecentlyServed",
+    "MethodSpec",
+    "OsssArray",
+    "OsssInterface",
+    "OsssModule",
+    "Port",
+    "Request",
+    "RetViolation",
+    "RoundRobin",
+    "Serialisable",
+    "SerialisationError",
+    "SerialisedPayload",
+    "SharedObject",
+    "SharedObjectStats",
+    "SoftwareTask",
+    "StaticPriority",
+    "UIntN",
+    "eet",
+    "guarded",
+    "guarded_args",
+    "osss_method",
+    "payload_bits",
+    "register_payload_type",
+    "ret",
+    "serialise_call",
+]

@@ -1,0 +1,98 @@
+"""Arbitration policies for concurrent Shared Object access.
+
+OSSS lets the designer choose the scheduler a Shared Object (or a bus) uses
+to resolve concurrent requests.  A policy sees the *eligible* requests
+(guard already satisfied) and picks one.  All policies are deterministic so
+simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class Request:
+    """One pending access, as seen by an arbitration policy."""
+
+    __slots__ = ("client_id", "priority", "arrival_fs", "seq")
+
+    def __init__(self, client_id: int, priority: int, arrival_fs: int, seq: int):
+        self.client_id = client_id
+        self.priority = priority
+        self.arrival_fs = arrival_fs
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return f"Request(client={self.client_id}, prio={self.priority}, at={self.arrival_fs}fs)"
+
+
+class ArbitrationPolicy:
+    """Base class: subclasses implement :meth:`select`."""
+
+    name = "base"
+
+    def select(self, eligible: Sequence[Request], last_client: Optional[int]) -> Request:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RoundRobin(ArbitrationPolicy):
+    """Grant the first eligible client after the last one served."""
+
+    name = "round_robin"
+
+    def select(self, eligible: Sequence[Request], last_client: Optional[int]) -> Request:
+        if last_client is None:
+            return min(eligible, key=lambda r: r.client_id)
+        # Order clients cyclically starting just after last_client.
+        return min(
+            eligible,
+            key=lambda r: ((r.client_id - last_client - 1) % _modulus(eligible, last_client), r.seq),
+        )
+
+
+def _modulus(eligible: Sequence[Request], last_client: int) -> int:
+    """A modulus safely larger than every client id in play."""
+    return max([last_client] + [r.client_id for r in eligible]) + 2
+
+
+class StaticPriority(ArbitrationPolicy):
+    """Highest priority wins; ties resolved by arrival order.
+
+    Lower numeric value means higher priority, matching bus conventions.
+    """
+
+    name = "static_priority"
+
+    def select(self, eligible: Sequence[Request], last_client: Optional[int]) -> Request:
+        return min(eligible, key=lambda r: (r.priority, r.seq))
+
+
+class Fcfs(ArbitrationPolicy):
+    """First come, first served (arrival time, then submission order)."""
+
+    name = "fcfs"
+
+    def select(self, eligible: Sequence[Request], last_client: Optional[int]) -> Request:
+        return min(eligible, key=lambda r: (r.arrival_fs, r.seq))
+
+
+class LeastRecentlyServed(ArbitrationPolicy):
+    """Fair policy favouring the client served longest ago."""
+
+    name = "least_recently_served"
+
+    def __init__(self):
+        self._last_service: dict[int, int] = {}
+        self._tick = 0
+
+    def select(self, eligible: Sequence[Request], last_client: Optional[int]) -> Request:
+        chosen = min(
+            eligible,
+            key=lambda r: (self._last_service.get(r.client_id, -1), r.seq),
+        )
+        self._tick += 1
+        self._last_service[chosen.client_id] = self._tick
+        return chosen

@@ -1,0 +1,122 @@
+"""Synthesisable data types: ``osss_array`` and sized integers.
+
+``osss_array`` is the paper's fixed-size array type.  At the Application
+Layer it behaves like a plain array (register semantics: free access).  The
+VTA refinement *explicit memory insertion* replaces it with a block-RAM
+backed array whose accesses cost clock cycles — the same declaration site,
+a different storage policy (see ``repro.vta.memory``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .serialisation import Serialisable
+
+
+class UIntN(int):
+    """An unsigned integer carrying its synthesis bit width."""
+
+    def __new__(cls, value: int, bits: int):
+        if bits < 1:
+            raise ValueError("bit width must be at least 1")
+        limit = 1 << bits
+        obj = super().__new__(cls, value % limit)
+        obj._bits = bits
+        return obj
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def payload_bits(self) -> int:
+        return self._bits
+
+
+class IntN(int):
+    """A signed two's-complement integer carrying its synthesis bit width."""
+
+    def __new__(cls, value: int, bits: int):
+        if bits < 2:
+            raise ValueError("signed bit width must be at least 2")
+        limit = 1 << bits
+        wrapped = value & (limit - 1)
+        if wrapped >= limit // 2:
+            wrapped -= limit
+        obj = super().__new__(cls, wrapped)
+        obj._bits = bits
+        return obj
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def payload_bits(self) -> int:
+        return self._bits
+
+
+class OsssArray(Serialisable):
+    """Fixed-size array with per-element bit width.
+
+    Access is direct (register semantics).  A storage policy — installed by
+    the VTA refinement — may intercept reads/writes to charge memory-port
+    cycles; the Application Layer leaves it as ``None``.
+    """
+
+    def __init__(self, length: int, element_bits: int, fill: int = 0):
+        if length < 1:
+            raise ValueError("osss_array length must be at least 1")
+        if element_bits < 1:
+            raise ValueError("element width must be at least 1 bit")
+        self.length = length
+        self.element_bits = element_bits
+        self._data = [fill] * length
+        #: Optional hook: an object with ``on_read(index)`` / ``on_write(index)``
+        #: used by explicit-memory refinement to account accesses.
+        self.storage_policy = None
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, index: int) -> int:
+        if self.storage_policy is not None:
+            self.storage_policy.on_read(index)
+        return self._data[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if self.storage_policy is not None:
+            self.storage_policy.on_write(index)
+        self._data[index] = value
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self.length):
+            yield self[index]
+
+    def load(self, values: Iterable[int], offset: int = 0) -> None:
+        """Bulk write (each element accounted individually)."""
+        for i, value in enumerate(values):
+            self[offset + i] = value
+
+    def payload_bits(self) -> int:
+        return self.length * self.element_bits
+
+    def __repr__(self) -> str:
+        return f"OsssArray(length={self.length}, element_bits={self.element_bits})"
+
+
+class AccessCounter:
+    """A storage policy that only counts accesses (profiling aid)."""
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+
+    def on_read(self, index: int) -> None:
+        self.reads += 1
+
+    def on_write(self, index: int) -> None:
+        self.writes += 1
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes

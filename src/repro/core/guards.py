@@ -1,0 +1,57 @@
+"""Guard conditions for Shared Object methods (``OSSS_GUARDED``).
+
+A guarded method only becomes *eligible* for arbitration while its guard
+predicate — evaluated against the Shared Object's behaviour state — holds.
+This is how OSSS models condition synchronisation (e.g. "``get_tile`` only
+when a tile is available") without exposing locks to the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Guard:
+    """A named predicate over the behaviour object.
+
+    A plain guard sees only the object state (the classic OSSS form).  An
+    *argument-aware* guard additionally sees the pending call's arguments,
+    which models per-request conditions like "this tile is finished" —
+    OSSS expresses those with per-client state inside the object; folding
+    the arguments into the predicate is semantically equivalent and keeps
+    the case-study models compact.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[..., bool],
+        name: str = "guard",
+        args_aware: bool = False,
+    ):
+        self.predicate = predicate
+        self.name = name
+        self.args_aware = args_aware
+
+    def holds(self, behaviour: object, args: tuple = (), kwargs: Optional[dict] = None) -> bool:
+        if self.args_aware:
+            return bool(self.predicate(behaviour, *args, **(kwargs or {})))
+        return bool(self.predicate(behaviour))
+
+    def __repr__(self) -> str:
+        return f"Guard({self.name!r})"
+
+
+#: Guard that is always open (the default for unguarded methods).
+ALWAYS = Guard(lambda behaviour: True, name="always")
+
+
+def guarded(predicate: Callable[[object], bool], name: Optional[str] = None) -> Guard:
+    """Build a state-only guard, defaulting the name to the function's."""
+    return Guard(predicate, name or getattr(predicate, "__name__", "guard"))
+
+
+def guarded_args(predicate: Callable[..., bool], name: Optional[str] = None) -> Guard:
+    """Build an argument-aware guard (sees behaviour plus call arguments)."""
+    return Guard(
+        predicate, name or getattr(predicate, "__name__", "guard"), args_aware=True
+    )

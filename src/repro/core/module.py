@@ -1,0 +1,42 @@
+"""OSSS hardware modules: active components with N concurrent processes.
+
+In the methodology, *modules* become dedicated hardware blocks (1-to-1
+mapping on the VTA).  They may own several processes and communicate with
+Shared Objects through ports, exactly like software tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..kernel import Module, Process, SimTime, Simulator
+from .interfaces import OsssInterface, Port
+from .timing import eet
+
+
+class OsssModule(Module):
+    """Base class for OSSS hardware modules.
+
+    Subclasses register their concurrent processes in ``elaborate()`` (or by
+    calling :meth:`add_thread` directly).  ``self.eet(t)`` annotates
+    computation time, later refined to cycle counts on the VTA layer.
+    """
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional[Module] = None):
+        super().__init__(sim, name, parent)
+        self.ports: list[Port] = []
+        #: Set by VTA mapping: the hardware block wrapping this module.
+        self.mapped_block = None
+
+    def port(
+        self,
+        name: str = "port",
+        interface: Optional[OsssInterface] = None,
+        priority: int = 0,
+    ) -> Port:
+        port = Port(self, interface=interface, name=name, priority=priority)
+        self.ports.append(port)
+        return port
+
+    def eet(self, duration: SimTime, body: Optional[Callable[[], object]] = None):
+        return eet(duration, body)

@@ -1,0 +1,277 @@
+"""Shared Objects: guarded, arbitrated, method-based communication.
+
+A Shared Object is the central OSSS concept: a *passive* component offering
+method-based interfaces to the active components (modules and software
+tasks).  Its semantics, reproduced here:
+
+* **directed** — clients reach it through port-to-interface bindings;
+* **blocking** — a method call does not return before it completed;
+* **mutually exclusive** — at most one method executes at a time;
+* **arbitrated** — concurrent requests are resolved by a pluggable
+  scheduling policy; each grant may cost arbitration overhead (which is how
+  the case study's seven-client version 5 ends up slower than version 4);
+* **guarded** — a method with a closed guard is simply not eligible until
+  the object's state opens the guard.
+
+The behaviour is an ordinary Python object whose methods are exported with
+the :func:`osss_method` decorator.  Method bodies may be plain functions
+(annotated with an EET) or generators (free to consume simulated time and
+use further blocking calls).
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import Callable, Optional, Union
+
+from ..kernel import Event, Module, SimTime, Simulator, ZERO_TIME
+from .arbiter import ArbitrationPolicy, Request, RoundRobin
+from .guards import ALWAYS, Guard
+
+#: An EET annotation: fixed duration, or computed from the call arguments.
+EetSpec = Union[SimTime, Callable[..., SimTime], None]
+
+_OSSS_METHOD_ATTR = "_osss_method_spec"
+
+
+class MethodSpec:
+    """Export metadata attached to behaviour methods."""
+
+    def __init__(self, guard: Guard, eet: EetSpec):
+        self.guard = guard
+        self.eet = eet
+
+
+def osss_method(guard: Optional[Guard] = None, eet: EetSpec = None):
+    """Decorator marking a behaviour method as exported through the SO."""
+
+    def mark(fn):
+        setattr(fn, _OSSS_METHOD_ATTR, MethodSpec(guard or ALWAYS, eet))
+        return fn
+
+    return mark
+
+
+class ClientHandle:
+    """Identity of one registered client (one bound port)."""
+
+    __slots__ = ("client_id", "name", "priority")
+
+    def __init__(self, client_id: int, name: str, priority: int):
+        self.client_id = client_id
+        self.name = name
+        self.priority = priority
+
+    def __repr__(self) -> str:
+        return f"ClientHandle({self.client_id}, {self.name!r})"
+
+
+class _PendingCall:
+    """A call waiting for (or holding) the grant."""
+
+    __slots__ = (
+        "client",
+        "method",
+        "args",
+        "kwargs",
+        "granted",
+        "is_granted",
+        "arrival_fs",
+        "seq",
+    )
+
+    def __init__(self, sim: Simulator, client: ClientHandle, method: str, args, kwargs, seq: int):
+        self.client = client
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.granted = Event(sim, f"grant.{client.name}.{method}")
+        self.is_granted = False
+        self.arrival_fs = sim.now.femtoseconds
+        self.seq = seq
+
+
+class SharedObject(Module):
+    """A passive, arbitrated, guarded method-call server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        behaviour: object,
+        policy: Optional[ArbitrationPolicy] = None,
+        parent: Optional[Module] = None,
+        grant_overhead: SimTime = ZERO_TIME,
+        per_client_overhead: SimTime = ZERO_TIME,
+    ):
+        super().__init__(sim, name, parent)
+        self.behaviour = behaviour
+        self.policy = policy or RoundRobin()
+        #: Fixed simulated-time cost charged on every grant.
+        self.grant_overhead = grant_overhead
+        #: Additional per-registered-client cost per grant: models the
+        #: growing arbiter/multiplexer in hardware as clients are added.
+        self.per_client_overhead = per_client_overhead
+        self._methods = self._collect_methods(behaviour)
+        self._clients: list[ClientHandle] = []
+        self._pending: list[_PendingCall] = []
+        self._busy = False
+        self._last_client: Optional[int] = None
+        self._state_changed = Event(sim, f"{name}.state_changed")
+        self._seq = itertools.count()
+        # Statistics used by the case study's exploration reports.
+        self.stats = SharedObjectStats()
+        sim.spawn(self._arbiter_loop(), name=f"{self.name}.arbiter")
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def _collect_methods(behaviour: object) -> dict[str, tuple[Callable, MethodSpec]]:
+        methods = {}
+        for attr_name, member in inspect.getmembers(behaviour, callable):
+            spec = getattr(member, _OSSS_METHOD_ATTR, None)
+            if spec is not None:
+                methods[attr_name] = (member, spec)
+        if not methods:
+            raise ValueError(
+                f"behaviour {type(behaviour).__name__!r} exports no methods; "
+                "mark them with @osss_method()"
+            )
+        return methods
+
+    def provided_methods(self):
+        return self._methods.keys()
+
+    # -- provider protocol (used by Port) ------------------------------------------
+
+    def connect_client(self, port) -> ClientHandle:
+        client = ClientHandle(len(self._clients), port.name, port.priority)
+        self._clients.append(client)
+        return client
+
+    @property
+    def num_clients(self) -> int:
+        return len(self._clients)
+
+    def request_call(self, client: ClientHandle, method: str, *args, **kwargs) -> _PendingCall:
+        """Register a call for arbitration; returns the pending handle.
+
+        Split out of :meth:`invoke` so channel transactors can observe the
+        grant (e.g. to model clients polling a bus-attached object).
+        """
+        if client is None:
+            raise RuntimeError(f"unconnected client invoking {self.name!r}")
+        if method not in self._methods:
+            raise AttributeError(f"shared object {self.name!r} has no method {method!r}")
+        call = _PendingCall(self.sim, client, method, args, kwargs, next(self._seq))
+        self._pending.append(call)
+        self.stats.requests += 1
+        self._state_changed.notify(delta=True)
+        return call
+
+    def finish_call(self, call: _PendingCall):
+        """Execute a granted call; must follow ``yield call.granted``."""
+        try:
+            result = yield from self._execute(call)
+        finally:
+            self._busy = False
+            self._last_client = call.client.client_id
+            self._state_changed.notify(delta=True)
+        return result
+
+    def invoke(self, client: ClientHandle, method: str, *args, **kwargs):
+        """The blocking call protocol; runs in the *client's* process."""
+        call = self.request_call(client, method, *args, **kwargs)
+        yield call.granted
+        result = yield from self.finish_call(call)
+        return result
+
+    def _execute(self, call: _PendingCall):
+        overhead_fs = (
+            self.grant_overhead.femtoseconds
+            + self.per_client_overhead.femtoseconds * self.num_clients
+        )
+        if overhead_fs:
+            yield SimTime.from_fs(overhead_fs)
+        fn, spec = self._methods[call.method]
+        started = self.sim.now
+        outcome = fn(*call.args, **call.kwargs)
+        if inspect.isgenerator(outcome):
+            result = yield from outcome
+        else:
+            result = outcome
+            duration = self._eet_duration(spec, call)
+            if duration:
+                yield duration
+        self.stats.grants += 1
+        self.stats.busy_fs += (self.sim.now - started).femtoseconds + overhead_fs
+        return result
+
+    @staticmethod
+    def _eet_duration(spec: MethodSpec, call: _PendingCall) -> Optional[SimTime]:
+        if spec.eet is None:
+            return None
+        if isinstance(spec.eet, SimTime):
+            return spec.eet
+        return spec.eet(*call.args, **call.kwargs)
+
+    # -- arbitration ---------------------------------------------------------------
+
+    def _arbiter_loop(self):
+        while True:
+            granted = self._try_grant()
+            if not granted:
+                yield self._state_changed
+
+    def _try_grant(self) -> bool:
+        if self._busy or not self._pending:
+            return False
+        eligible = [
+            call for call in self._pending
+            if self._methods[call.method][1].guard.holds(
+                self.behaviour, call.args, call.kwargs
+            )
+        ]
+        if not eligible:
+            self.stats.guard_blocked += 1
+            return False
+        requests = {
+            id(call): Request(call.client.client_id, call.client.priority, call.arrival_fs, call.seq)
+            for call in eligible
+        }
+        chosen_request = self.policy.select(list(requests.values()), self._last_client)
+        chosen = next(call for call in eligible if requests[id(call)] is chosen_request)
+        self._pending.remove(chosen)
+        self._busy = True
+        if len(requests) > 1:
+            self.stats.contended_grants += 1
+        chosen.is_granted = True
+        chosen.granted.notify(delta=True)
+        return True
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return f"SharedObject({self.name!r}, clients={self.num_clients}, pending={self.pending_count})"
+
+
+class SharedObjectStats:
+    """Counters a simulation run can report on."""
+
+    def __init__(self):
+        self.requests = 0
+        self.grants = 0
+        self.contended_grants = 0
+        self.guard_blocked = 0
+        self.busy_fs = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedObjectStats(requests={self.requests}, grants={self.grants}, "
+            f"contended={self.contended_grants})"
+        )

@@ -1,0 +1,90 @@
+"""``repro.fossy`` — the FOSSY synthesis flow reproduction.
+
+The paper's contribution, part 3: automatic transformation of VTA models
+into implementation models.  A behavioural hardware description
+(:mod:`behaviour`) is inlined (:mod:`inline` — the FOSSY transformation),
+elaborated to an FSMD (:mod:`frontend`, :mod:`ir`), emitted as VHDL in
+both the handcrafted-reference and single-FSM styles (:mod:`vhdl`),
+estimated against a Virtex-4 (:mod:`estimate`), and packaged with EDK
+platform files (:mod:`platform_files`) and C for the software tasks
+(:mod:`c_backend`).  The IDWT53/IDWT97 models of Table 2 live in
+:mod:`idwt53` / :mod:`idwt97`; :mod:`flow` drives everything.
+"""
+
+from .behaviour import (
+    Assign,
+    Bin,
+    Call,
+    Const,
+    Design,
+    For,
+    If,
+    MemRef,
+    Memory,
+    Procedure,
+    Tick,
+    Var,
+    count_statements,
+)
+from .estimate import SynthesisReport, estimate_fossy, estimate_reference
+from .flow import BlockResult, SystemResult, synthesise_block, synthesise_system
+from .frontend import ElaborationError, elaborate
+from .idwt53 import build_idwt53
+from .idwt97 import build_idwt97
+from .inline import InlineError, inline_design
+from .ir import Fsmd, FsmState, Transfer, Transition
+from .platform_files import HardwareBlockSpec, emit_mhs, emit_mss
+from .simulate import FsmdSimulator, SimulationLimit
+from .testbench import TestbenchSpec, generate_testbench
+from .vhdl import (
+    VhdlLintError,
+    emit_fossy_vhdl,
+    emit_reference_vhdl,
+    line_count,
+    lint_vhdl,
+)
+
+__all__ = [
+    "Assign",
+    "Bin",
+    "BlockResult",
+    "Call",
+    "Const",
+    "Design",
+    "ElaborationError",
+    "For",
+    "Fsmd",
+    "FsmState",
+    "FsmdSimulator",
+    "HardwareBlockSpec",
+    "If",
+    "InlineError",
+    "MemRef",
+    "Memory",
+    "Procedure",
+    "SimulationLimit",
+    "SynthesisReport",
+    "TestbenchSpec",
+    "SystemResult",
+    "Tick",
+    "Transfer",
+    "Transition",
+    "Var",
+    "VhdlLintError",
+    "build_idwt53",
+    "build_idwt97",
+    "count_statements",
+    "elaborate",
+    "emit_fossy_vhdl",
+    "emit_mhs",
+    "emit_mss",
+    "emit_reference_vhdl",
+    "generate_testbench",
+    "estimate_fossy",
+    "estimate_reference",
+    "inline_design",
+    "line_count",
+    "lint_vhdl",
+    "synthesise_block",
+    "synthesise_system",
+]

@@ -1,0 +1,204 @@
+"""The lossy (9/7, Daubechies) inverse-DWT hardware model.
+
+Fixed-point lifting with the four CDF 9/7 steps plus the K scaling, the
+coefficients held as 16-bit constants scaled by 2^14.  Structurally the
+twin of :mod:`repro.fossy.idwt53` — same control part, same line buffer —
+but with constant-coefficient multipliers in every lifting step, which is
+what drives its very different synthesis trade-offs in Table 2.
+"""
+
+from __future__ import annotations
+
+from .behaviour import (
+    Assign,
+    Bin,
+    Call,
+    Const,
+    Design,
+    For,
+    If,
+    MemRef,
+    Procedure,
+    Tick,
+    Var,
+)
+from .idwt_common import IDX_BITS, base_design, clamp_procedure, control_main, idx
+
+#: Datapath width of the 9/7 block: wide enough to hold the full
+#: coefficient-by-sum products without overflow (9-bit samples grow to
+#: ~12 bits through the lifting cascade; products add 15 bits).
+SAMPLE_BITS_97 = 26
+
+#: CDF 9/7 lifting coefficients in Q14 fixed point.
+ALPHA_Q12 = -25987  # -1.586134342
+BETA_Q12 = -868  # -0.052980118
+GAMMA_Q12 = 14464  # +0.882911075
+DELTA_Q12 = 7266  # +0.443506852
+INV_K_Q12 = 13318  # 1 / 1.230174105
+K_Q12 = 20155  # 1.230174105
+Q12_ROUND = 8192
+Q12_SHIFT = 14
+
+
+def _buf(pos_expr) -> MemRef:
+    return MemRef("line_buf", pos_expr, SAMPLE_BITS_97)
+
+
+def _pos(k: Var, offset: int) -> Bin:
+    doubled = Bin("<<", k, Const(1, IDX_BITS), IDX_BITS)
+    return Bin("+", doubled, Const(2 + offset, IDX_BITS), IDX_BITS)
+
+
+def _scale_line() -> Procedure:
+    """Undo the analysis gains: even samples x K, odd samples x 1/K."""
+    length = idx("length")
+    k = idx("k")
+    product = Var("product", SAMPLE_BITS_97)
+    half = idx("half")
+    return Procedure(
+        name="scale_line",
+        params=[length],
+        locals=[k, product, half],
+        body=[
+            Assign(half, Bin("+", Bin(">>", length, Const(1, IDX_BITS), IDX_BITS),
+                             Bin("&", length, Const(1, IDX_BITS), IDX_BITS), IDX_BITS)),
+            For(k, Const(0, IDX_BITS), half, [
+                Assign(
+                    product,
+                    Bin("*", _buf(_pos(k, 0)), Const(K_Q12, SAMPLE_BITS_97), SAMPLE_BITS_97),
+                ),
+                Tick(),
+                Assign(
+                    _buf(_pos(k, 0)),
+                    Bin(
+                        ">>",
+                        Bin("+", product, Const(Q12_ROUND, SAMPLE_BITS_97), SAMPLE_BITS_97),
+                        Const(Q12_SHIFT, SAMPLE_BITS_97),
+                        SAMPLE_BITS_97,
+                    ),
+                ),
+                Tick(),
+            ]),
+            For(k, Const(0, IDX_BITS), Bin(">>", length, Const(1, IDX_BITS), IDX_BITS), [
+                Assign(
+                    product,
+                    Bin("*", _buf(_pos(k, 1)), Const(INV_K_Q12, SAMPLE_BITS_97), SAMPLE_BITS_97),
+                ),
+                Tick(),
+                Assign(
+                    _buf(_pos(k, 1)),
+                    Bin(
+                        ">>",
+                        Bin("+", product, Const(Q12_ROUND, SAMPLE_BITS_97), SAMPLE_BITS_97),
+                        Const(Q12_SHIFT, SAMPLE_BITS_97),
+                        SAMPLE_BITS_97,
+                    ),
+                ),
+                Tick(),
+            ]),
+        ],
+    )
+
+
+def _lift_step(name: str, coefficient: int, target_offset: int,
+               neighbour_a: int, neighbour_b: int, on_even_count: bool) -> Procedure:
+    """One lifting step: target += (c * (nbr_a + nbr_b) + round) >> 12.
+
+    ``target_offset`` selects even (0) or odd (1) samples; the neighbours
+    are the adjacent samples of the other parity (offsets relative to the
+    interleaved position).
+    """
+    length = idx("length")
+    k = idx("k")
+    total = Var("total", SAMPLE_BITS_97)
+    product = Var("product", SAMPLE_BITS_97)
+    half = idx("half")
+    if on_even_count:
+        half_expr = Bin("+", Bin(">>", length, Const(1, IDX_BITS), IDX_BITS),
+                        Bin("&", length, Const(1, IDX_BITS), IDX_BITS), IDX_BITS)
+    else:
+        half_expr = Bin(">>", length, Const(1, IDX_BITS), IDX_BITS)
+    return Procedure(
+        name=name,
+        params=[length],
+        locals=[k, total, product, half],
+        body=[
+            Assign(half, half_expr),
+            For(k, Const(0, IDX_BITS), half, [
+                Assign(
+                    total,
+                    Bin("+", _buf(_pos(k, neighbour_a)), _buf(_pos(k, neighbour_b)), SAMPLE_BITS_97),
+                ),
+                Tick(),
+                Assign(
+                    product,
+                    Bin("*", total, Const(coefficient, SAMPLE_BITS_97), SAMPLE_BITS_97),
+                ),
+                Tick(),
+                Assign(
+                    _buf(_pos(k, target_offset)),
+                    Bin(
+                        "+",
+                        _buf(_pos(k, target_offset)),
+                        Bin(
+                            ">>",
+                            Bin("+", product, Const(Q12_ROUND, SAMPLE_BITS_97), SAMPLE_BITS_97),
+                            Const(Q12_SHIFT, SAMPLE_BITS_97),
+                            SAMPLE_BITS_97,
+                        ),
+                        SAMPLE_BITS_97,
+                    ),
+                ),
+                Tick(),
+            ]),
+        ],
+    )
+
+
+def _lift_line() -> Procedure:
+    """Full inverse 9/7: scaling then the four lifting steps in reverse."""
+    length = idx("length")
+    return Procedure(
+        name="lift_line_97",
+        params=[length],
+        locals=[],
+        body=[
+            If(
+                Bin(">", length, Const(1, IDX_BITS), 1),
+                [
+                    # every lifting step reads across the line edges, so the
+                    # symmetric extension is refreshed before each one
+                    Call("scale_line", [length]),
+                    Call("extend_symmetric", [length]),
+                    Call("undo_delta", [length]),
+                    Call("extend_symmetric", [length]),
+                    Call("undo_gamma", [length]),
+                    Call("extend_symmetric", [length]),
+                    Call("undo_beta", [length]),
+                    Call("extend_symmetric", [length]),
+                    Call("undo_alpha", [length]),
+                ],
+                [],
+            ),
+        ],
+    )
+
+
+def build_idwt97() -> Design:
+    """The complete synthesisable IDWT97 block."""
+    design = base_design("idwt97")
+    design.procedures.append(clamp_procedure(SAMPLE_BITS_97))
+    design.procedures.extend(
+        [
+            _scale_line(),
+            # inverse order of the forward steps, signs negated
+            _lift_step("undo_delta", -DELTA_Q12, 0, -1, 1, on_even_count=True),
+            _lift_step("undo_gamma", -GAMMA_Q12, 1, 0, 2, on_even_count=False),
+            _lift_step("undo_beta", -BETA_Q12, 0, -1, 1, on_even_count=True),
+            _lift_step("undo_alpha", -ALPHA_Q12, 1, 0, 2, on_even_count=False),
+            _lift_line(),
+        ]
+    )
+    design.main = control_main("lift_line_97")
+    design.validate()
+    return design

@@ -1,0 +1,56 @@
+"""``repro.jpeg2000`` — a complete JPEG 2000 codec substrate.
+
+The functional payload and profiling subject of the case study: codestream
+syntax, MQ arithmetic coding, EBCOT Tier-1/Tier-2, tag trees, de/quantisation,
+5/3 and 9/7 lifting wavelet transforms, colour transforms and DC shift,
+assembled into an encoder (to fabricate test material) and the decoder whose
+five stages (Fig. 1) the OSSS models distribute across hardware and software.
+"""
+
+from .codestream import (
+    CodestreamError,
+    CodingParameters,
+    TilePart,
+    parse_codestream,
+    write_codestream,
+)
+from .decoder import DecodingError, Jpeg2000Decoder, TileStages, decode_codestream
+from .encoder import EncodingError, Jpeg2000Encoder, encode_image
+from .image import Image, TileGrid, synthetic_image
+from .transcode import TranscodeError, drop_layers
+from .pipeline import (
+    ALL_STAGES,
+    STAGE_ARITH,
+    STAGE_DC,
+    STAGE_ICT,
+    STAGE_IDWT,
+    STAGE_IQ,
+    StageOps,
+)
+
+__all__ = [
+    "ALL_STAGES",
+    "CodestreamError",
+    "CodingParameters",
+    "DecodingError",
+    "EncodingError",
+    "Image",
+    "Jpeg2000Decoder",
+    "Jpeg2000Encoder",
+    "STAGE_ARITH",
+    "STAGE_DC",
+    "STAGE_ICT",
+    "STAGE_IDWT",
+    "STAGE_IQ",
+    "StageOps",
+    "TileGrid",
+    "TilePart",
+    "TileStages",
+    "TranscodeError",
+    "decode_codestream",
+    "drop_layers",
+    "encode_image",
+    "parse_codestream",
+    "synthetic_image",
+    "write_codestream",
+]

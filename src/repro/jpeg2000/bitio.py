@@ -1,0 +1,98 @@
+"""Packet-header bit I/O with JPEG 2000 byte stuffing (ITU-T T.800, B.10.1).
+
+Packet headers are bit-packed MSB first; after emitting a 0xFF byte only
+seven bits go into the next byte (the MSB is forced to 0) so that no marker
+codes can appear inside a header.  The reader mirrors the rule.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """MSB-first bit packer with 0xFF stuffing."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._capacity = 8  # payload bits of the current byte (7 after 0xFF)
+        self._used = 0
+        self._current = 0
+
+    def put_bit(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._used += 1
+        if self._used == self._capacity:
+            self._bytes.append(self._current)
+            # After an 0xFF, the next byte carries only 7 payload bits.
+            self._capacity = 7 if self._current == 0xFF else 8
+            self._used = 0
+            self._current = 0
+
+    def put_bits(self, value: int, count: int) -> None:
+        for shift in range(count - 1, -1, -1):
+            self.put_bit((value >> shift) & 1)
+
+    def put_comma_code(self, value: int) -> None:
+        """Unary 'comma code': *value* ones followed by a zero."""
+        for _ in range(value):
+            self.put_bit(1)
+        self.put_bit(0)
+
+    def flush(self) -> bytes:
+        """Pad the final byte with zeros and return the packed header."""
+        if self._used > 0:
+            self._current <<= self._capacity - self._used
+            self._bytes.append(self._current)
+        elif self._bytes and self._bytes[-1] == 0xFF:
+            # A header may not end in 0xFF; pad the stuffing byte.
+            self._bytes.append(0)
+        self._capacity = 8
+        self._used = 0
+        self._current = 0
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Mirror of :class:`BitWriter` over a byte buffer."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._pos = offset
+        self._bit_pos = 0  # bits already consumed from the current byte
+        self._last_byte = 0
+
+    def get_bit(self) -> int:
+        if self._bit_pos == 0:
+            if self._pos >= len(self._data):
+                raise EOFError("bit reader ran past the end of the header")
+            unstuffed = self._last_byte == 0xFF
+            self._last_byte = self._data[self._pos]
+            self._pos += 1
+            self._bit_pos = 7 if unstuffed else 8
+        self._bit_pos -= 1
+        return (self._last_byte >> self._bit_pos) & 1
+
+    def get_bits(self, count: int) -> int:
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.get_bit()
+        return value
+
+    def get_comma_code(self) -> int:
+        value = 0
+        while self.get_bit():
+            value += 1
+        return value
+
+    def align(self) -> int:
+        """Finish the current byte (and any stuffing byte); return position."""
+        self._bit_pos = 0
+        if self._last_byte == 0xFF:
+            # Skip the stuffed zero byte terminating the header.
+            if self._pos < len(self._data) and self._data[self._pos] == 0x00:
+                self._pos += 1
+        self._last_byte = 0
+        return self._pos
+
+    @property
+    def position(self) -> int:
+        return self._pos

@@ -1,0 +1,373 @@
+"""The JPEG 2000 decoder — the case study's application.
+
+Mirrors Fig. 1 of the paper: entropy (arithmetic) decoding of the
+codestream, inverse quantisation (IQ), inverse DWT, inverse colour
+transform (ICT/RCT) and DC level shift.  Stage boundaries are explicit —
+``decode_tile_stages`` exposes each stage as a separate call — because the
+OSSS case-study models distribute exactly these stages between software
+tasks and hardware Shared Objects.
+
+Every stage reports basic-operation counts (see ``pipeline.StageOps``)
+used by the profiling model that reconstructs Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from . import dwt, mct, quant
+from .codestream import (
+    Codestream,
+    CodingParameters,
+    PROGRESSION_RLCP,
+    parse_codestream,
+)
+from .encoder import _progression, decomposition_level, subband_order
+from .image import Image, TileGrid
+from .pipeline import (
+    STAGE_ARITH,
+    STAGE_DC,
+    STAGE_ICT,
+    STAGE_IDWT,
+    STAGE_IQ,
+    StageOps,
+)
+from .structure import band_shapes, codeblock_grid
+from .t1 import CodeBlockDecoder
+from .t2 import CodeBlockContribution, PacketBand, consume_sop, decode_packet
+
+
+class DecodingError(RuntimeError):
+    """The codestream is structurally valid but cannot be decoded."""
+
+
+@dataclass
+class DecodedBand:
+    """One subband's coefficient plane after entropy decoding."""
+
+    resolution: int
+    orientation: str
+    indices: np.ndarray  # signed quantisation indices
+
+
+@dataclass
+class TileStages:
+    """Stage-by-stage decoder for one tile (the OSSS models drive this)."""
+
+    params: CodingParameters
+    tile_width: int
+    tile_height: int
+    data: bytes
+    ops: StageOps = field(default_factory=StageOps)
+    #: Decode only the first N quality layers (None = all): the rate
+    #: scalability that layered codestreams exist for.
+    max_layers: Optional[int] = None
+    #: Reconstruct only up to resolution R (None = full size): the image
+    #: comes out smaller by 2^(levels-R) per axis.
+    max_resolution: Optional[int] = None
+
+    # -- stage 1: arithmetic decoding (Tier-2 + Tier-1) ---------------------------
+
+    def entropy_decode(self) -> list:
+        """Per component, the list of :class:`DecodedBand` planes."""
+        params = self.params
+        shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
+        bounds = _band_bounds(params)
+        components: list[list[DecodedBand]] = []
+        per_component_bands: list[dict] = []
+        for _ in range(params.num_components):
+            bands: dict[tuple[int, str], PacketBand] = {}
+            for shape in shapes:
+                bands[(shape.resolution, shape.orientation)] = PacketBand(
+                    orientation=shape.orientation,
+                    band_width=shape.width,
+                    band_height=shape.height,
+                    cb_size=params.codeblock_size,
+                    blocks=[
+                        CodeBlockContribution(geometry=geo)
+                        for geo in codeblock_grid(
+                            shape.width, shape.height, params.codeblock_size
+                        )
+                    ],
+                )
+            per_component_bands.append(bands)
+        offset = 0
+        packet_sequence = 0
+        max_layers = params.num_layers
+        if self.max_layers is not None:
+            if params.progression == PROGRESSION_RLCP:
+                raise DecodingError(
+                    "layer truncation needs the LRCP progression; this "
+                    "codestream is RLCP (use max_resolution instead)"
+                )
+            max_layers = min(max_layers, self.max_layers)
+        for layer, resolution in _progression(params):
+            if layer >= max_layers:
+                break
+            if (
+                self.max_resolution is not None
+                and params.progression == PROGRESSION_RLCP
+                and resolution > self.max_resolution
+            ):
+                break  # RLCP: everything beyond is a discardable suffix
+            for comp_index in range(params.num_components):
+                bands = per_component_bands[comp_index]
+                packet_bands = [
+                    band
+                    for (res, _), band in bands.items()
+                    if res == resolution
+                ]
+                res_bounds = {
+                    orientation: bound
+                    for (res, orientation), bound in bounds.items()
+                    if res == resolution
+                }
+                if params.use_sop:
+                    offset = consume_sop(self.data, offset, packet_sequence)
+                offset = decode_packet(
+                    self.data, offset, packet_bands, res_bounds, layer,
+                    use_eph=params.use_eph,
+                )
+                packet_sequence += 1
+        for comp_index in range(params.num_components):
+            bands = per_component_bands[comp_index]
+            decoded: list[DecodedBand] = []
+            for shape in shapes:
+                band = bands[(shape.resolution, shape.orientation)]
+                plane = np.zeros((shape.height, shape.width), dtype=np.int64)
+                for block in band.blocks:
+                    geo = block.geometry
+                    coder = CodeBlockDecoder(
+                        block.data,
+                        geo.width,
+                        geo.height,
+                        shape.orientation,
+                        block.num_bitplanes,
+                        block.num_passes,
+                    )
+                    values = coder.decode()
+                    self.ops.add(STAGE_ARITH, coder.ops)
+                    plane[
+                        geo.y0 : geo.y0 + geo.height, geo.x0 : geo.x0 + geo.width
+                    ] = np.asarray(values, dtype=np.int64).reshape(geo.height, geo.width)
+                decoded.append(DecodedBand(shape.resolution, shape.orientation, plane))
+            components.append(decoded)
+        return components
+
+    # -- stage 2: inverse quantisation ------------------------------------------------
+
+    def dequantise(self, decoded_bands: list) -> list:
+        """Per component, the dequantised :class:`~repro.jpeg2000.dwt.Subbands`."""
+        params = self.params
+        result = []
+        for component in decoded_bands:
+            ll: Optional[np.ndarray] = None
+            level_quads: dict[int, dict[str, np.ndarray]] = {}
+            for band in component:
+                if (
+                    self.max_resolution is not None
+                    and band.resolution > self.max_resolution
+                ):
+                    continue  # resolution-truncated reconstruction
+                self.ops.add(STAGE_IQ, band.indices.size)
+                if params.lossless:
+                    values = band.indices
+                else:
+                    # The step size comes from the parsed QCD segment — the
+                    # codestream is self-contained, no side channel.
+                    values = quant.dequantise(
+                        band.indices,
+                        qcd_delta(params, band.resolution, band.orientation),
+                    )
+                if band.resolution == 0:
+                    ll = values
+                else:
+                    level_quads.setdefault(band.resolution, {})[band.orientation] = values
+            levels = [
+                level_quads[res]
+                for res in sorted(level_quads.keys(), reverse=True)
+            ]
+            result.append(dwt.Subbands(ll, levels, params.transform))
+        return result
+
+    # -- stage 3: inverse DWT ----------------------------------------------------------
+
+    def inverse_dwt(self, subbands_per_component: list) -> list:
+        planes = []
+        for subbands in subbands_per_component:
+            counts = dwt.DwtOpCounts()
+            planes.append(dwt.inverse(subbands, counts))
+            self.ops.add(STAGE_IDWT, counts.total)
+        return planes
+
+    # -- stage 4: inverse colour transform ----------------------------------------------
+
+    def inverse_mct(self, planes: list) -> list:
+        params = self.params
+        if not params.use_mct:
+            return planes
+        if params.lossless:
+            r, g, b = mct.rct_inverse(
+                np.rint(planes[0]).astype(np.int64),
+                np.rint(planes[1]).astype(np.int64),
+                np.rint(planes[2]).astype(np.int64),
+            )
+        else:
+            r, g, b = mct.ict_inverse(planes[0], planes[1], planes[2])
+        self.ops.add(STAGE_ICT, 3 * planes[0].size)
+        return [r, g, b] + list(planes[3:])
+
+    # -- stage 5: DC level shift ----------------------------------------------------------
+
+    def dc_shift(self, planes: list) -> list:
+        params = self.params
+        out = []
+        for plane in planes:
+            out.append(mct.dc_shift_inverse(plane, params.bit_depth))
+            self.ops.add(STAGE_DC, plane.size)
+        return out
+
+    # -- all stages ------------------------------------------------------------------------
+
+    def run(self) -> list:
+        """Run the full tile pipeline; returns component sample planes."""
+        bands = self.entropy_decode()
+        subbands = self.dequantise(bands)
+        planes = self.inverse_dwt(subbands)
+        planes = self.inverse_mct(planes)
+        return self.dc_shift(planes)
+
+
+def qcd_delta(params: CodingParameters, resolution: int, orientation: str) -> float:
+    """Quantisation step of one subband, from the parsed QCD fields."""
+    order = subband_order(params.num_levels)
+    try:
+        index = order.index((resolution, orientation))
+    except ValueError:
+        raise DecodingError(
+            f"no QCD entry for resolution {resolution} band {orientation}"
+        ) from None
+    if index >= len(params.step_sizes):
+        raise DecodingError("QCD step sizes missing or inconsistent")
+    range_bits = params.bit_depth + quant.ORIENTATION_GAIN_LOG2[orientation]
+    return params.step_sizes[index].delta(range_bits)
+
+
+def _band_bounds(params: CodingParameters) -> dict:
+    """M_b bounds per (resolution, orientation), from the QCD fields."""
+    order = subband_order(params.num_levels)
+    bounds = {}
+    if params.lossless:
+        if len(params.exponents) != len(order):
+            raise DecodingError("QCD exponents missing or inconsistent")
+        for key, exponent in zip(order, params.exponents):
+            bounds[key] = params.guard_bits + exponent - 1
+    else:
+        if len(params.step_sizes) != len(order):
+            raise DecodingError("QCD step sizes missing or inconsistent")
+        for key, step in zip(order, params.step_sizes):
+            bounds[key] = params.guard_bits + step.exponent - 1
+    return bounds
+
+
+class Jpeg2000Decoder:
+    """Decode a codestream into an :class:`~repro.jpeg2000.image.Image`.
+
+    ``max_layers`` truncates the quality progression: only the first N
+    layers of every packet sequence are entropy-decoded, trading quality
+    for rate exactly as a network transcoder would by dropping packets.
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        max_layers: Optional[int] = None,
+        max_resolution: Optional[int] = None,
+    ):
+        self.codestream: Codestream = parse_codestream(data)
+        self.max_layers = max_layers
+        self.max_resolution = max_resolution
+        if max_resolution is not None and max_resolution < 0:
+            raise ValueError("max_resolution must be non-negative")
+        self.ops = StageOps()
+
+    @property
+    def parameters(self) -> CodingParameters:
+        return self.codestream.parameters
+
+    def tile_stages(self, tile_index: int) -> TileStages:
+        """Stage-wise decoder for one tile (used by the OSSS models)."""
+        params = self.parameters
+        grid = TileGrid(params.width, params.height, params.tile_width, params.tile_height)
+        x0, y0, x1, y1 = grid.tile_bounds(tile_index)
+        part = next(
+            (p for p in self.codestream.tile_parts if p.tile_index == tile_index), None
+        )
+        if part is None:
+            raise DecodingError(f"codestream has no tile-part for tile {tile_index}")
+        return TileStages(
+            params=params,
+            tile_width=x1 - x0,
+            tile_height=y1 - y0,
+            data=part.data,
+            max_layers=self.max_layers,
+            max_resolution=self.max_resolution,
+        )
+
+    def decode(self) -> Image:
+        params = self.parameters
+        grid = TileGrid(params.width, params.height, params.tile_width, params.tile_height)
+        if self.max_resolution is None:
+            components = [
+                np.zeros((params.height, params.width), dtype=np.int64)
+                for _ in range(params.num_components)
+            ]
+            for tile_index in range(grid.num_tiles):
+                stages = self.tile_stages(tile_index)
+                planes = stages.run()
+                self.ops.merge(stages.ops)
+                for component, plane in zip(components, planes):
+                    grid.insert(component, tile_index, plane)
+            return Image(components=components, bit_depth=params.bit_depth)
+        return self._decode_reduced(grid)
+
+    def _decode_reduced(self, grid: TileGrid) -> Image:
+        """Assemble the resolution-truncated mosaic (tiles shrink per axis)."""
+        params = self.parameters
+        tile_planes: dict[int, list] = {}
+        for tile_index in range(grid.num_tiles):
+            stages = self.tile_stages(tile_index)
+            tile_planes[tile_index] = stages.run()
+            self.ops.merge(stages.ops)
+        # Cumulative offsets from the reduced per-tile sizes.
+        widths = [
+            tile_planes[tx][0].shape[1] for tx in range(grid.tiles_across)
+        ]
+        heights = [
+            tile_planes[ty * grid.tiles_across][0].shape[0]
+            for ty in range(grid.tiles_down)
+        ]
+        total_w, total_h = sum(widths), sum(heights)
+        components = [
+            np.zeros((total_h, total_w), dtype=np.int64)
+            for _ in range(params.num_components)
+        ]
+        y_offset = 0
+        for ty in range(grid.tiles_down):
+            x_offset = 0
+            for tx in range(grid.tiles_across):
+                planes = tile_planes[ty * grid.tiles_across + tx]
+                height, width = planes[0].shape
+                for component, plane in zip(components, planes):
+                    component[y_offset:y_offset + height, x_offset:x_offset + width] = plane
+                x_offset += width
+            y_offset += heights[ty]
+        return Image(components=components, bit_depth=params.bit_depth)
+
+
+def decode_codestream(data: bytes) -> Image:
+    """Convenience one-shot decode."""
+    return Jpeg2000Decoder(data).decode()

@@ -1,0 +1,302 @@
+"""Discrete wavelet transforms (ITU-T T.800, Annex F).
+
+Both JPEG 2000 filter banks are implemented in lifting form on numpy
+arrays:
+
+* **5/3** (Le Gall, reversible) — integer lifting, exact reconstruction,
+  used by the case study's lossless mode (``IDWT53``);
+* **9/7** (Daubechies/CDF, irreversible) — four floating-point lifting
+  steps plus scaling, the lossy mode (``IDWT97``).
+
+Boundaries use whole-sample symmetric extension, handled by index
+reflection so signals of any length (including 1) transform correctly.
+The module also reports per-call operation counts, which feed both the
+Fig. 1 profiling model and the cycle cost model of the VTA hardware IDWT
+blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: 9/7 lifting coefficients (T.800 Table F.4).
+ALPHA = -1.586134342059924
+BETA = -0.052980118572961
+GAMMA = 0.882911075530934
+DELTA = 0.443506852043971
+KAPPA = 1.230174104914001
+
+MODE_LOSSLESS = "5/3"
+MODE_LOSSY = "9/7"
+
+
+@dataclass
+class DwtOpCounts:
+    """Basic-operation tally of transform calls (adds/shifts vs multiplies)."""
+
+    add_ops: int = 0
+    mul_ops: int = 0
+    samples: int = 0
+
+    def merge(self, other: "DwtOpCounts") -> None:
+        self.add_ops += other.add_ops
+        self.mul_ops += other.mul_ops
+        self.samples += other.samples
+
+    @property
+    def total(self) -> int:
+        return self.add_ops + self.mul_ops
+
+
+def _reflect(index: int, length: int) -> int:
+    """Whole-sample symmetric index reflection into [0, length)."""
+    if length == 1:
+        return 0
+    period = 2 * (length - 1)
+    index %= period
+    if index < 0:
+        index += period
+    return index if index < length else period - index
+
+
+# -- 1D transforms -------------------------------------------------------------
+#
+# The deinterleaved convention follows the standard: for a signal of length
+# n, the low band holds ceil(n/2) samples (even positions), the high band
+# floor(n/2) samples (odd positions).
+
+
+def fdwt53_1d(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Forward 5/3 on one line; returns (low, high) integer bands."""
+    x = np.asarray(signal, dtype=np.int64)
+    n = x.shape[0]
+    if n == 1:
+        return x.copy(), np.zeros(0, dtype=np.int64)
+    even = x[0::2].copy()
+    odd = x[1::2].copy()
+    n_odd = odd.shape[0]
+    # Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+    right = even[1:] if even.shape[0] > n_odd else even[1:]
+    nbr_right = np.empty_like(odd)
+    nbr_right[: even.shape[0] - 1] = even[1:]
+    if n_odd > even.shape[0] - 1:  # even length: last odd reflects back
+        nbr_right[-1] = even[-1]
+    high = odd - ((even[:n_odd] + nbr_right) >> 1)
+    # Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+    d_left = np.empty_like(even)
+    d_right = np.empty_like(even)
+    d_left[0] = high[0]
+    d_left[1:] = high[: even.shape[0] - 1]
+    d_right[: n_odd] = high
+    if even.shape[0] > n_odd:  # odd length: last even reflects forward
+        d_right[-1] = high[-1]
+    low = even + ((d_left + d_right + 2) >> 2)
+    return low, high
+
+
+def idwt53_1d(low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Inverse 5/3; exact inverse of :func:`fdwt53_1d`."""
+    low = np.asarray(low, dtype=np.int64)
+    high = np.asarray(high, dtype=np.int64)
+    n = low.shape[0] + high.shape[0]
+    if n == 1:
+        return low.copy()
+    n_even = low.shape[0]
+    n_odd = high.shape[0]
+    d_left = np.empty_like(low)
+    d_right = np.empty_like(low)
+    d_left[0] = high[0]
+    d_left[1:] = high[: n_even - 1]
+    d_right[:n_odd] = high
+    if n_even > n_odd:
+        d_right[-1] = high[-1]
+    even = low - ((d_left + d_right + 2) >> 2)
+    nbr_right = np.empty_like(high)
+    nbr_right[: n_even - 1] = even[1:]
+    if n_odd > n_even - 1:
+        nbr_right[-1] = even[-1]
+    odd = high + ((even[:n_odd] + nbr_right) >> 1)
+    out = np.empty(n, dtype=np.int64)
+    out[0::2] = even
+    out[1::2] = odd
+    return out
+
+
+def _lift(band_a: np.ndarray, band_b: np.ndarray, coefficient: float, into_b: bool) -> None:
+    """One 9/7 lifting step: b[i] += c * (a[i] + a[i+1-ish]) with reflection.
+
+    When *into_b* the odd band is updated from even neighbours (predict
+    steps); otherwise the even band from odd neighbours (update steps).
+    """
+    if into_b:
+        # odd[i] += c * (even[i] + even[i+1]), right edge reflects
+        n = band_b.shape[0]
+        if n == 0:
+            return
+        left = band_a[:n]
+        right = np.empty_like(left)
+        right[: band_a.shape[0] - 1] = band_a[1:]
+        if n > band_a.shape[0] - 1:
+            right[-1] = band_a[-1]
+        band_b += coefficient * (left + right)
+    else:
+        # even[i] += c * (odd[i-1] + odd[i]), both edges reflect
+        n = band_a.shape[0]
+        if band_b.shape[0] == 0:
+            return
+        left = np.empty(n, dtype=band_b.dtype)
+        right = np.empty(n, dtype=band_b.dtype)
+        left[0] = band_b[0]
+        left[1:] = band_b[: n - 1]
+        right[: band_b.shape[0]] = band_b
+        if n > band_b.shape[0]:
+            right[-1] = band_b[-1]
+        band_a += coefficient * (left + right)
+
+
+def fdwt97_1d(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Forward 9/7 on one line; returns (low, high) float bands."""
+    x = np.asarray(signal, dtype=np.float64)
+    n = x.shape[0]
+    if n == 1:
+        return x.copy(), np.zeros(0, dtype=np.float64)
+    even = x[0::2].copy()
+    odd = x[1::2].copy()
+    _lift(even, odd, ALPHA, into_b=True)
+    _lift(even, odd, BETA, into_b=False)
+    _lift(even, odd, GAMMA, into_b=True)
+    _lift(even, odd, DELTA, into_b=False)
+    return even * (1.0 / KAPPA), odd * KAPPA
+
+
+def idwt97_1d(low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Inverse 9/7."""
+    low = np.asarray(low, dtype=np.float64)
+    high = np.asarray(high, dtype=np.float64)
+    n = low.shape[0] + high.shape[0]
+    if n == 1:
+        return low.copy()
+    even = low * KAPPA
+    odd = high * (1.0 / KAPPA)
+    _lift(even, odd, -DELTA, into_b=False)
+    _lift(even, odd, -GAMMA, into_b=True)
+    _lift(even, odd, -BETA, into_b=False)
+    _lift(even, odd, -ALPHA, into_b=True)
+    out = np.empty(n, dtype=np.float64)
+    out[0::2] = even
+    out[1::2] = odd
+    return out
+
+
+# -- 2D / multi-level -------------------------------------------------------------
+
+
+def _forward_2d(tile: np.ndarray, mode: str) -> dict[str, np.ndarray]:
+    """One decomposition level; returns the LL/HL/LH/HH quadrants."""
+    fdwt = fdwt53_1d if mode == MODE_LOSSLESS else fdwt97_1d
+    dtype = np.int64 if mode == MODE_LOSSLESS else np.float64
+    height, width = tile.shape
+    low_w = (width + 1) // 2
+    low_h = (height + 1) // 2
+    rows_low = np.empty((height, low_w), dtype=dtype)
+    rows_high = np.empty((height, width - low_w), dtype=dtype)
+    for y in range(height):
+        rows_low[y], rows_high[y] = fdwt(tile[y])
+    ll = np.empty((low_h, low_w), dtype=dtype)
+    lh = np.empty((height - low_h, low_w), dtype=dtype)
+    hl = np.empty((low_h, width - low_w), dtype=dtype)
+    hh = np.empty((height - low_h, width - low_w), dtype=dtype)
+    for x in range(low_w):
+        ll[:, x], lh[:, x] = fdwt(rows_low[:, x])
+    for x in range(width - low_w):
+        hl[:, x], hh[:, x] = fdwt(rows_high[:, x])
+    return {"LL": ll, "HL": hl, "LH": lh, "HH": hh}
+
+
+def _inverse_2d(quads: dict[str, np.ndarray], mode: str,
+                ops: "DwtOpCounts | None" = None) -> np.ndarray:
+    """Invert one decomposition level from its quadrants."""
+    idwt = idwt53_1d if mode == MODE_LOSSLESS else idwt97_1d
+    ll, hl, lh, hh = quads["LL"], quads["HL"], quads["LH"], quads["HH"]
+    low_h, low_w = ll.shape
+    height = low_h + lh.shape[0]
+    width = low_w + hl.shape[1]
+    dtype = np.int64 if mode == MODE_LOSSLESS else np.float64
+    rows_low = np.empty((height, low_w), dtype=dtype)
+    rows_high = np.empty((height, width - low_w), dtype=dtype)
+    for x in range(low_w):
+        rows_low[:, x] = idwt(ll[:, x], lh[:, x])
+    for x in range(width - low_w):
+        rows_high[:, x] = idwt(hl[:, x], hh[:, x])
+    out = np.empty((height, width), dtype=dtype)
+    for y in range(height):
+        out[y] = idwt(rows_low[y], rows_high[y])
+    if ops is not None:
+        samples = height * width
+        ops.samples += samples
+        if mode == MODE_LOSSLESS:
+            # 2 lifting steps x (1 add-pair + 1 shift + 1 add) per sample, 2 dims
+            ops.add_ops += samples * 8
+        else:
+            # 4 lifting steps x (2 adds + 1 mul) per sample + scaling, 2 dims
+            ops.add_ops += samples * 16
+            ops.mul_ops += samples * 10
+    return out
+
+
+class Subbands:
+    """Multi-level decomposition: LL_n plus (HL, LH, HH) per level.
+
+    ``levels[0]`` holds the quadrants of the finest level (level 1 in
+    standard numbering), ``ll`` the coarsest approximation.
+    """
+
+    def __init__(self, ll: np.ndarray, levels: list[dict[str, np.ndarray]], mode: str):
+        self.ll = ll
+        self.levels = levels
+        self.mode = mode
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def iter_bands(self):
+        """Yield (resolution_level, orientation, array), coarsest first.
+
+        Resolution 0 is the LL band alone; resolution r >= 1 adds the
+        detail quadrants of decomposition level num_levels - r + 1.
+        """
+        yield 0, "LL", self.ll
+        for res in range(1, self.num_levels + 1):
+            quads = self.levels[self.num_levels - res]
+            for orientation in ("HL", "LH", "HH"):
+                yield res, orientation, quads[orientation]
+
+
+def forward(tile: np.ndarray, mode: str, num_levels: int) -> Subbands:
+    """Multi-level forward DWT of one tile component."""
+    if mode not in (MODE_LOSSLESS, MODE_LOSSY):
+        raise ValueError(f"unknown DWT mode {mode!r}")
+    if num_levels < 0:
+        raise ValueError("decomposition level count must be non-negative")
+    current = np.asarray(tile, dtype=np.int64 if mode == MODE_LOSSLESS else np.float64)
+    levels: list[dict[str, np.ndarray]] = []
+    for _ in range(num_levels):
+        if current.shape[0] <= 1 and current.shape[1] <= 1:
+            break
+        quads = _forward_2d(current, mode)
+        levels.append({k: v for k, v in quads.items() if k != "LL"})
+        current = quads["LL"]
+    return Subbands(current, levels, mode)
+
+
+def inverse(subbands: Subbands, ops: "DwtOpCounts | None" = None) -> np.ndarray:
+    """Multi-level inverse DWT (the case study's IDWT53 / IDWT97)."""
+    current = subbands.ll
+    for quads in reversed(subbands.levels):
+        merged = dict(quads)
+        merged["LL"] = current
+        current = _inverse_2d(merged, subbands.mode, ops)
+    return current

@@ -1,0 +1,47 @@
+"""``repro.kernel`` — a SystemC-like discrete-event simulation kernel.
+
+The kernel provides the substrate every OSSS model runs on: simulated time
+(:class:`SimTime`), events with immediate/delta/timed notification
+(:class:`Event`), generator-coroutine processes, evaluate/update signal
+semantics (:class:`Signal`), clocks, FIFOs and synchronisation primitives,
+all coordinated by :class:`Simulator`.
+"""
+
+from .event import Event
+from .fifo import Fifo
+from .module import Module
+from .process import AllOf, AnyOf, Process, ProcessState, join
+from .scheduler import ProcessError, SimulationError, Simulator
+from .signal import Clock, ResetSignal, Signal
+from .sync import Barrier, Mutex, Semaphore
+from .time import ZERO_TIME, SimTime, fs, ms, ns, ps, sec, us
+from .tracing import Trace
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Clock",
+    "Event",
+    "Fifo",
+    "Module",
+    "Mutex",
+    "Process",
+    "ProcessError",
+    "ProcessState",
+    "ResetSignal",
+    "Semaphore",
+    "Signal",
+    "SimTime",
+    "SimulationError",
+    "Simulator",
+    "Trace",
+    "ZERO_TIME",
+    "fs",
+    "join",
+    "ms",
+    "ns",
+    "ps",
+    "sec",
+    "us",
+]

@@ -1,0 +1,77 @@
+"""Hierarchical modules: structure and process registration.
+
+A :class:`Module` is a named node in the design hierarchy that owns
+processes, events and child modules, mirroring ``sc_module``.  The OSSS
+layer builds its Module / SoftwareTask / SharedObject concepts on top of
+this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .event import Event
+from .process import Process, ProcessBody
+from .scheduler import Simulator
+
+
+class Module:
+    """A named hierarchy node owning processes and child modules."""
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional["Module"] = None):
+        if not name or "." in name:
+            raise ValueError(f"module name must be a non-empty dot-free string, got {name!r}")
+        self.sim = sim
+        self.basename = name
+        self.parent = parent
+        self.children: list[Module] = []
+        self.processes: list[Process] = []
+        if parent is not None:
+            parent._add_child(self)
+
+    # -- hierarchy -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Full hierarchical name, e.g. ``top.decoder.idwt``."""
+        if self.parent is None:
+            return self.basename
+        return f"{self.parent.name}.{self.basename}"
+
+    def _add_child(self, child: "Module") -> None:
+        if any(existing.basename == child.basename for existing in self.children):
+            raise ValueError(f"duplicate child module name {child.basename!r} in {self.name!r}")
+        self.children.append(child)
+
+    def find(self, path: str) -> "Module":
+        """Look up a descendant by dot-separated relative path."""
+        node = self
+        for part in path.split("."):
+            for child in node.children:
+                if child.basename == part:
+                    node = child
+                    break
+            else:
+                raise KeyError(f"no module {path!r} under {self.name!r}")
+        return node
+
+    def walk(self):
+        """Yield this module and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- processes and events ----------------------------------------------------
+
+    def add_thread(self, body_fn: Callable[..., ProcessBody], *args, name: Optional[str] = None) -> Process:
+        """Register *body_fn(*args)* as a process owned by this module."""
+        proc_name = f"{self.name}.{name or body_fn.__name__}"
+        proc = self.sim.spawn(body_fn(*args), name=proc_name)
+        self.processes.append(proc)
+        return proc
+
+    def event(self, name: str = "event") -> Event:
+        return Event(self.sim, f"{self.name}.{name}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,218 @@
+"""Processes: generator coroutines driven by the simulator.
+
+A process body is a Python generator.  It suspends by yielding a *wait
+request* and is resumed by the scheduler when the request is satisfied:
+
+* ``yield SimTime(10, "ns")`` — wait for a duration;
+* ``yield event`` — wait for a single event;
+* ``yield AnyOf(e1, e2, ...)`` — wait until any of the events fires;
+* ``yield AllOf(e1, e2, ...)`` — wait until all of the events have fired.
+
+Sub-behaviours compose with ``yield from``, which is the idiom used for all
+blocking library calls (e.g. Shared Object method calls in the OSSS layer).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Iterable, Optional
+
+from .event import Event
+from .time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import Simulator
+
+#: Type alias for process bodies.
+ProcessBody = Generator[object, object, object]
+
+
+class AnyOf:
+    """Wait request satisfied when any one of the given events fires."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        self.events = tuple(events)
+
+
+class AllOf:
+    """Wait request satisfied once all of the given events have fired."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("AllOf requires at least one event")
+        self.events = tuple(events)
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    WAITING = "waiting"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class Process:
+    """A scheduled coroutine with SystemC-thread-like wait semantics."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "body",
+        "state",
+        "_waiting_on",
+        "_pending_all",
+        "_timeout_event",
+        "result",
+        "exception",
+        "done_event",
+        "_factory",
+        "restarts",
+    )
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str,
+                 factory=None):
+        if not hasattr(body, "send"):
+            raise TypeError(
+                f"process body for {name!r} must be a generator; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.name = name
+        self.body = body
+        self.state = ProcessState.READY
+        self._waiting_on: tuple[Event, ...] = ()
+        self._pending_all: set[Event] = set()
+        self._timeout_event: Optional[Event] = None
+        self.result: object = None
+        self.exception: Optional[BaseException] = None
+        #: Fires (delta) when the process terminates; used for joins.
+        self.done_event = Event(sim, f"{name}.done")
+        #: When set, :meth:`restart` can rebuild the body (reset support).
+        self._factory = factory
+        self.restarts = 0
+
+    # -- scheduler interface ---------------------------------------------------
+
+    def _step(self) -> None:
+        """Advance the body until it suspends or terminates."""
+        try:
+            request = self.body.send(None)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.state = ProcessState.FINISHED
+            self.done_event.notify(delta=True)
+            self.sim._process_finished(self)
+            return
+        except Exception as exc:
+            self.exception = exc
+            self.state = ProcessState.FAILED
+            self.done_event.notify(delta=True)
+            self.sim._process_failed(self, exc)
+            return
+        try:
+            self._suspend_on(request)
+        except Exception as exc:
+            self.body.close()
+            self.exception = exc
+            self.state = ProcessState.FAILED
+            self.done_event.notify(delta=True)
+            self.sim._process_failed(self, exc)
+
+    def _suspend_on(self, request: object) -> None:
+        self.state = ProcessState.WAITING
+        if isinstance(request, SimTime):
+            timeout = Event(self.sim, f"{self.name}.timeout")
+            timeout.notify(request)  # a zero delay degenerates to a delta notification
+            self._timeout_event = timeout
+            self._waiting_on = (timeout,)
+            timeout._subscribe(self)
+            return
+        if isinstance(request, Event):
+            self._waiting_on = (request,)
+            request._subscribe(self)
+            return
+        if isinstance(request, AnyOf):
+            self._waiting_on = request.events
+            for event in request.events:
+                event._subscribe(self)
+            return
+        if isinstance(request, AllOf):
+            self._pending_all = set(request.events)
+            self._waiting_on = request.events
+            for event in request.events:
+                event._subscribe(self)
+            return
+        raise TypeError(
+            f"process {self.name!r} yielded {request!r}; expected a SimTime, "
+            "an Event, AnyOf(...), or AllOf(...)"
+        )
+
+    def _wake(self, fired: Event) -> None:
+        """Called by an event this process subscribed to."""
+        if self._pending_all:
+            self._pending_all.discard(fired)
+            if self._pending_all:
+                return  # keep waiting for the remaining events
+        for event in self._waiting_on:
+            if event is not fired:
+                event._unsubscribe(self)
+        self._waiting_on = ()
+        self._pending_all = set()
+        self._timeout_event = None
+        self.state = ProcessState.READY
+        self.sim._make_runnable(self)
+
+    def kill(self) -> None:
+        """Terminate the process without running it further."""
+        if self.state in (ProcessState.FINISHED, ProcessState.FAILED):
+            return
+        for event in self._waiting_on:
+            event._unsubscribe(self)
+        self._waiting_on = ()
+        self._pending_all = set()
+        self.body.close()
+        self.state = ProcessState.FINISHED
+        self.done_event.notify(delta=True)
+        self.sim._process_finished(self)
+
+    def restart(self) -> None:
+        """Reset semantics: abandon the current body and run from the top.
+
+        Requires the process to have been spawned from a factory
+        (:meth:`Simulator.spawn_resettable`); the restarted body becomes
+        runnable in the current delta cycle.
+        """
+        if self._factory is None:
+            raise RuntimeError(
+                f"process {self.name!r} was not spawned resettable"
+            )
+        for event in self._waiting_on:
+            event._unsubscribe(self)
+        self._waiting_on = ()
+        self._pending_all = set()
+        self._timeout_event = None
+        self.body.close()
+        self.body = self._factory()
+        self.restarts += 1
+        if self.state is not ProcessState.READY:
+            self.state = ProcessState.READY
+            self.sim._make_runnable(self)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (ProcessState.FINISHED, ProcessState.FAILED)
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, {self.state.value})"
+
+
+def join(processes: Iterable[Process]) -> ProcessBody:
+    """Blocking helper: wait until every given process has terminated."""
+    for proc in processes:
+        if not proc.finished:
+            yield proc.done_event

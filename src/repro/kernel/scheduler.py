@@ -1,0 +1,210 @@
+"""The discrete-event simulator: evaluate / update / notify phases.
+
+The scheduling algorithm follows the SystemC reference semantics:
+
+1. **Evaluate** — run every runnable process until it suspends.  Immediate
+   notifications issued here make processes runnable within the same phase.
+2. **Update** — apply pending primitive-channel updates (signals).
+3. **Delta notification** — fire events notified with a delta delay; if any
+   process became runnable, start a new delta cycle at the same time.
+4. **Timed notification** — otherwise advance simulated time to the earliest
+   pending timed notification and fire it.
+
+Simulation ends when no runnable process and no pending notification remain,
+or when an optional time limit is reached.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Optional
+
+from .event import Event
+from .process import Process, ProcessBody
+from .time import SimTime, ZERO_TIME
+
+
+class SimulationError(RuntimeError):
+    """A process raised, or the kernel detected an inconsistency."""
+
+
+class ProcessError(SimulationError):
+    """Wraps an exception escaping a process body."""
+
+    def __init__(self, process: Process, cause: BaseException):
+        super().__init__(f"process {process.name!r} failed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class _TimedEntry:
+    """Heap entry for a timed notification (lazily cancellable)."""
+
+    __slots__ = ("at_fs", "seq", "event", "cancelled")
+
+    def __init__(self, at_fs: int, seq: int, event: Event):
+        self.at_fs = at_fs
+        self.seq = seq
+        self.event = event
+        self.cancelled = False
+
+    def __lt__(self, other: "_TimedEntry") -> bool:
+        return (self.at_fs, self.seq) < (other.at_fs, other.seq)
+
+
+class _DeltaEntry:
+    """Entry in the delta-notification queue (lazily cancellable)."""
+
+    __slots__ = ("event", "cancelled")
+
+    def __init__(self, event: Event):
+        self.event = event
+        self.cancelled = False
+
+
+class Simulator:
+    """Owns simulated time, the event queues, and all processes."""
+
+    def __init__(self):
+        self._now_fs = 0
+        self._runnable: deque[Process] = deque()
+        self._delta_queue: list[_DeltaEntry] = []
+        self._timed_queue: list[_TimedEntry] = []
+        self._update_queue: list[Callable[[], None]] = []
+        self._seq = itertools.count()
+        self.processes: list[Process] = []
+        self.delta_count = 0
+        #: Raised process errors abort the run; kept for post-mortem access.
+        self.failure: Optional[ProcessError] = None
+        self._running = False
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        return SimTime.from_fs(self._now_fs)
+
+    def event(self, name: str = "event") -> Event:
+        return Event(self, name)
+
+    def spawn(self, body: ProcessBody, name: str = "process") -> Process:
+        """Register a generator as a process, runnable at the current time."""
+        proc = Process(self, body, name)
+        self.processes.append(proc)
+        self._runnable.append(proc)
+        return proc
+
+    def spawn_resettable(self, factory, name: str = "process") -> Process:
+        """Spawn from a zero-argument generator factory; supports restart().
+
+        This is the kernel hook behind reset semantics: asserting a reset
+        re-creates the body from the factory and runs it from the top.
+        """
+        proc = Process(self, factory(), name, factory=factory)
+        self.processes.append(proc)
+        self._runnable.append(proc)
+        return proc
+
+    def run(self, until: Optional[SimTime] = None) -> SimTime:
+        """Run until quiescence or *until* (inclusive); returns final time."""
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        limit_fs = until.femtoseconds if until is not None else None
+        try:
+            while True:
+                self._evaluate_and_update()
+                if self.failure is not None:
+                    raise self.failure
+                next_at = self._peek_timed()
+                if next_at is None:
+                    break
+                if limit_fs is not None and next_at > limit_fs:
+                    self._now_fs = limit_fs
+                    break
+                self._now_fs = next_at
+                self._fire_due_timed()
+        finally:
+            self._running = False
+        return self.now
+
+    def run_for(self, duration: SimTime) -> SimTime:
+        """Run for at most *duration* beyond the current time."""
+        return self.run(until=self.now + duration)
+
+    # -- scheduler internals ---------------------------------------------------
+
+    def _evaluate_and_update(self) -> None:
+        """One or more delta cycles at the current time point."""
+        while self._runnable or self._delta_queue or self._update_queue:
+            self.delta_count += 1
+            # Evaluate phase.
+            while self._runnable:
+                proc = self._runnable.popleft()
+                if proc.finished:
+                    continue
+                proc._step()
+                if self.failure is not None:
+                    return
+            # Update phase.
+            updates, self._update_queue = self._update_queue, []
+            for update in updates:
+                update()
+            # Delta-notification phase.
+            deltas, self._delta_queue = self._delta_queue, []
+            for entry in deltas:
+                if not entry.cancelled:
+                    entry.event._fire()
+
+    def _peek_timed(self) -> Optional[int]:
+        while self._timed_queue and self._timed_queue[0].cancelled:
+            heapq.heappop(self._timed_queue)
+        if not self._timed_queue:
+            return None
+        return self._timed_queue[0].at_fs
+
+    def _fire_due_timed(self) -> None:
+        while self._timed_queue and (
+            self._timed_queue[0].cancelled or self._timed_queue[0].at_fs == self._now_fs
+        ):
+            entry = heapq.heappop(self._timed_queue)
+            if not entry.cancelled:
+                entry.event._fire()
+
+    # -- hooks used by Event / Process / primitive channels ---------------------
+
+    def _trigger_now(self, event: Event) -> None:
+        event._fire()
+
+    def _schedule_delta(self, event: Event) -> _DeltaEntry:
+        entry = _DeltaEntry(event)
+        self._delta_queue.append(entry)
+        return entry
+
+    def _schedule_timed(self, event: Event, at_fs: int) -> _TimedEntry:
+        entry = _TimedEntry(at_fs, next(self._seq), event)
+        heapq.heappush(self._timed_queue, entry)
+        return entry
+
+    def _make_runnable(self, proc: Process) -> None:
+        self._runnable.append(proc)
+
+    def _request_update(self, update: Callable[[], None]) -> None:
+        self._update_queue.append(update)
+
+    def _process_finished(self, proc: Process) -> None:
+        pass  # nothing to clean up; kept as an extension point
+
+    def _process_failed(self, proc: Process, exc: BaseException) -> None:
+        self.failure = ProcessError(proc, exc)
+
+    # -- convenience -----------------------------------------------------------
+
+    def wait_fs(self, duration_fs: int) -> SimTime:
+        """Helper mainly for tests: a SimTime of *duration_fs* femtoseconds."""
+        return SimTime.from_fs(duration_fs)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now}, processes={len(self.processes)})"

@@ -1,0 +1,132 @@
+"""Signals and clocks with SystemC evaluate/update semantics.
+
+A :class:`Signal` written during the evaluate phase only takes its new value
+in the following update phase, so every process observing it within one
+delta cycle sees a consistent value.  :class:`Clock` is a free-running
+square-wave signal providing edge events for cycle-accurate models.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from .event import Event
+from .scheduler import Simulator
+from .time import SimTime
+
+T = TypeVar("T")
+
+
+class Signal(Generic[T]):
+    """A single-driver value channel with deferred update."""
+
+    def __init__(self, sim: Simulator, initial: T, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._current: T = initial
+        self._next: T = initial
+        self._update_pending = False
+        #: Fires (delta) whenever the stored value actually changes.
+        self.changed = Event(sim, f"{name}.changed")
+
+    def read(self) -> T:
+        return self._current
+
+    @property
+    def value(self) -> T:
+        return self._current
+
+    def write(self, value: T) -> None:
+        self._next = value
+        if not self._update_pending:
+            self._update_pending = True
+            self.sim._request_update(self._update)
+
+    def _update(self) -> None:
+        self._update_pending = False
+        if self._next != self._current:
+            self._current = self._next
+            self.changed.notify(delta=True)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, value={self._current!r})"
+
+
+class ResetSignal(Signal):
+    """An active-high reset line that restarts bound processes.
+
+    Processes spawned with :meth:`Simulator.spawn_resettable` can be bound
+    here; whenever the reset is asserted (written to True) each bound
+    process abandons its current execution and restarts from the top —
+    the SystemC reset semantics the OSSS hardware modules rely on.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "reset"):
+        super().__init__(sim, initial=False, name=name)
+        self._bound = []
+        self._watcher_started = False
+
+    def bind(self, process) -> None:
+        """Register a resettable process with this reset line."""
+        self._bound.append(process)
+        if not self._watcher_started:
+            self._watcher_started = True
+            self.sim.spawn(self._watch(), name=f"{self.name}.watcher")
+
+    def _watch(self):
+        while True:
+            yield self.changed
+            if self.read():
+                for process in self._bound:
+                    process.restart()
+
+
+class Clock:
+    """A periodic clock driving cycle-accurate components.
+
+    The clock does not spawn a process per edge; instead edge events are
+    scheduled lazily so an idle clock costs nothing.  Components wait on
+    :attr:`posedge` / :attr:`negedge`, or use :meth:`cycles` to express a
+    whole number of cycles as a duration (the cheap path used by the bus
+    and memory models).
+    """
+
+    def __init__(self, sim: Simulator, period: SimTime, name: str = "clk"):
+        if not period:
+            raise ValueError("clock period must be positive")
+        self.sim = sim
+        self.name = name
+        self.period = period
+        self.posedge = Event(sim, f"{name}.posedge")
+        self.negedge = Event(sim, f"{name}.negedge")
+        self._driving = False
+
+    @property
+    def frequency_hz(self) -> float:
+        return 1e15 / self.period.femtoseconds
+
+    def start(self) -> None:
+        """Begin emitting edge events (needed only by edge-sensitive models)."""
+        if self._driving:
+            return
+        self._driving = True
+        self.sim.spawn(self._drive(), name=f"{self.name}.driver")
+
+    def _drive(self):
+        half = SimTime.from_fs(self.period.femtoseconds // 2)
+        while True:
+            self.posedge.notify()
+            yield half
+            self.negedge.notify()
+            yield half
+
+    def cycles(self, count: float) -> SimTime:
+        """Duration of *count* clock cycles (fractions allowed)."""
+        return SimTime.from_fs(round(self.period.femtoseconds * count))
+
+    def cycles_between(self, start: SimTime, end: SimTime) -> int:
+        """Whole cycles elapsed between two time points."""
+        return (end - start) // self.period
+
+    def __repr__(self) -> str:
+        return f"Clock({self.name!r}, period={self.period})"

@@ -1,0 +1,139 @@
+"""Simulated time for the discrete-event kernel.
+
+Time is held as an integer number of femtoseconds, mirroring SystemC's
+``sc_time`` (integer multiples of a fixed resolution).  Integer arithmetic
+keeps event ordering exact: two events scheduled at mathematically equal
+times always compare equal, which floating point would not guarantee.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+#: Multipliers from unit name to femtoseconds.
+_UNIT_FS = {
+    "fs": 1,
+    "ps": 10**3,
+    "ns": 10**6,
+    "us": 10**9,
+    "ms": 10**12,
+    "s": 10**15,
+}
+
+
+@total_ordering
+class SimTime:
+    """An immutable point in (or duration of) simulated time.
+
+    >>> SimTime(1, "ns") + SimTime(500, "ps")
+    SimTime('1500 ps')
+    """
+
+    __slots__ = ("_fs",)
+
+    def __init__(self, value: float = 0, unit: str = "fs"):
+        if unit not in _UNIT_FS:
+            raise ValueError(f"unknown time unit {unit!r}; expected one of {sorted(_UNIT_FS)}")
+        if value < 0:
+            raise ValueError(f"time must be non-negative, got {value} {unit}")
+        self._fs = round(value * _UNIT_FS[unit])
+
+    @classmethod
+    def from_fs(cls, fs: int) -> "SimTime":
+        """Build a SimTime directly from an integer femtosecond count."""
+        if fs < 0:
+            raise ValueError(f"time must be non-negative, got {fs} fs")
+        t = cls.__new__(cls)
+        t._fs = int(fs)
+        return t
+
+    @property
+    def femtoseconds(self) -> int:
+        return self._fs
+
+    def to(self, unit: str) -> float:
+        """Convert to a float in the given unit."""
+        return self._fs / _UNIT_FS[unit]
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "SimTime") -> "SimTime":
+        return SimTime.from_fs(self._fs + other._fs)
+
+    def __sub__(self, other: "SimTime") -> "SimTime":
+        if other._fs > self._fs:
+            raise ValueError("time subtraction would be negative")
+        return SimTime.from_fs(self._fs - other._fs)
+
+    def __mul__(self, factor: float) -> "SimTime":
+        return SimTime.from_fs(round(self._fs * factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        """Duration ratio (SimTime/SimTime -> float) or scaling by a number."""
+        if isinstance(other, SimTime):
+            return self._fs / other._fs
+        return SimTime.from_fs(round(self._fs / other))
+
+    def __floordiv__(self, other: "SimTime") -> int:
+        return self._fs // other._fs
+
+    def __mod__(self, other: "SimTime") -> "SimTime":
+        return SimTime.from_fs(self._fs % other._fs)
+
+    # -- comparison ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SimTime) and self._fs == other._fs
+
+    def __lt__(self, other: "SimTime") -> bool:
+        return self._fs < other._fs
+
+    def __hash__(self) -> int:
+        return hash(self._fs)
+
+    def __bool__(self) -> bool:
+        return self._fs != 0
+
+    # -- formatting ---------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"SimTime({str(self)!r})"
+
+    def __str__(self) -> str:
+        if self._fs == 0:
+            return "0 s"
+        for unit in ("s", "ms", "us", "ns", "ps", "fs"):
+            scale = _UNIT_FS[unit]
+            if self._fs % scale == 0:
+                return f"{self._fs // scale} {unit}"
+        return f"{self._fs} fs"
+
+
+#: Zero duration, shared instance.
+ZERO_TIME = SimTime.from_fs(0)
+
+
+def fs(value: float) -> SimTime:
+    return SimTime(value, "fs")
+
+
+def ps(value: float) -> SimTime:
+    return SimTime(value, "ps")
+
+
+def ns(value: float) -> SimTime:
+    return SimTime(value, "ns")
+
+
+def us(value: float) -> SimTime:
+    return SimTime(value, "us")
+
+
+def ms(value: float) -> SimTime:
+    return SimTime(value, "ms")
+
+
+def sec(value: float) -> SimTime:
+    return SimTime(value, "s")

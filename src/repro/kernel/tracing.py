@@ -1,0 +1,104 @@
+"""Value-change tracing: record signal/probe histories during simulation.
+
+The tracer records ``(time, name, value)`` tuples and can render them as a
+simple VCD-style text dump or return per-probe waveforms for assertions in
+tests (e.g. checking bus-grant sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .scheduler import Simulator
+from .signal import Signal
+from .time import SimTime
+
+
+class Trace:
+    """Collects timestamped value changes from signals and manual probes."""
+
+    def __init__(self, sim: Simulator, name: str = "trace"):
+        self.sim = sim
+        self.name = name
+        self.records: list[tuple[SimTime, str, object]] = []
+        self._watched: list[tuple[Signal, str]] = []
+
+    def record(self, probe: str, value: object) -> None:
+        """Manually record a value change for *probe* at the current time."""
+        self.records.append((self.sim.now, probe, value))
+
+    def watch(self, signal: Signal, name: Optional[str] = None) -> None:
+        """Attach to a signal: every change is recorded automatically."""
+        probe = name or signal.name
+        self._watched.append((signal, probe))
+        self.records.append((self.sim.now, probe, signal.read()))
+        self.sim.spawn(self._follow(signal, probe), name=f"{self.name}.watch.{probe}")
+
+    def _follow(self, signal: Signal, probe: str):
+        while True:
+            yield signal.changed
+            self.records.append((self.sim.now, probe, signal.read()))
+
+    def waveform(self, probe: str) -> list[tuple[SimTime, object]]:
+        """The recorded ``(time, value)`` history of one probe."""
+        return [(t, v) for (t, name, v) in self.records if name == probe]
+
+    def value_at(self, probe: str, when: SimTime) -> object:
+        """Most recent value of *probe* at or before *when*."""
+        value = None
+        seen = False
+        for t, v in self.waveform(probe):
+            if t <= when:
+                value, seen = v, True
+            else:
+                break
+        if not seen:
+            raise KeyError(f"no value recorded for {probe!r} at or before {when}")
+        return value
+
+    def dump(self) -> str:
+        """Render all records as aligned text, one change per line."""
+        lines = [f"# trace {self.name}: {len(self.records)} changes"]
+        for t, probe, value in self.records:
+            lines.append(f"{str(t):>12}  {probe:<32} {value!r}")
+        return "\n".join(lines) + "\n"
+
+    def to_vcd(self, timescale: str = "1ps") -> str:
+        """Render the numeric probes as a VCD (value change dump) file.
+
+        Numeric values become VCD ``real`` variables so any waveform
+        viewer can open the output; non-numeric probes are skipped.
+        ``timescale`` must be one of the VCD-legal steps (1fs..1s).
+        """
+        scale_fs = {
+            "1fs": 1, "1ps": 10**3, "1ns": 10**6,
+            "1us": 10**9, "1ms": 10**12, "1s": 10**15,
+        }
+        if timescale not in scale_fs:
+            raise ValueError(f"unsupported timescale {timescale!r}")
+        divisor = scale_fs[timescale]
+        numeric = [
+            (t, probe, value)
+            for t, probe, value in self.records
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+        probes = sorted({probe for _, probe, _ in numeric})
+        # VCD identifier codes: printable ASCII starting at '!'.
+        codes = {probe: chr(33 + index) for index, probe in enumerate(probes)}
+        lines = [
+            f"$comment trace {self.name} $end",
+            f"$timescale {timescale} $end",
+            f"$scope module {self.name} $end",
+        ]
+        for probe in probes:
+            safe = probe.replace(" ", "_")
+            lines.append(f"$var real 64 {codes[probe]} {safe} $end")
+        lines += ["$upscope $end", "$enddefinitions $end"]
+        current_time = None
+        for t, probe, value in sorted(numeric, key=lambda r: r[0].femtoseconds):
+            ticks = t.femtoseconds // divisor
+            if ticks != current_time:
+                lines.append(f"#{ticks}")
+                current_time = ticks
+            lines.append(f"r{float(value):g} {codes[probe]}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,5 @@
+"""``repro.reporting`` — result-table rendering shared by the benchmarks."""
+
+from .tables import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,179 @@
+"""The OSSS Channel abstraction: word-oriented physical transport.
+
+A channel moves serialised payloads between *masters* (RMI clients, memory
+initiators) and its single medium.  The only operation behavioural code
+reaches — through the RMI layer, never directly — is :meth:`transport`: a
+blocking generator that consumes however much simulated time the physical
+protocol needs (arbitration, address phases, data beats).
+
+Concrete channels: :class:`~repro.vta.opb.OpbBus` (shared, arbitrated) and
+:class:`~repro.vta.p2p.P2PChannel` (dedicated link).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..kernel import Event, SimTime, Simulator, ZERO_TIME
+from ..core.arbiter import ArbitrationPolicy, Fcfs, Request
+
+
+class MasterHandle:
+    """Identity of one connected initiator."""
+
+    __slots__ = ("master_id", "name", "priority")
+
+    def __init__(self, master_id: int, name: str, priority: int):
+        self.master_id = master_id
+        self.name = name
+        self.priority = priority
+
+    def __repr__(self) -> str:
+        return f"MasterHandle({self.master_id}, {self.name!r})"
+
+
+class ChannelStats:
+    """Traffic counters per channel, reported by the exploration runs."""
+
+    def __init__(self):
+        self.transactions = 0
+        self.words = 0
+        self.busy_fs = 0
+        self.wait_fs = 0
+
+    def __repr__(self) -> str:
+        return f"ChannelStats(transactions={self.transactions}, words={self.words})"
+
+
+class _TransportRequest:
+    __slots__ = ("master", "granted", "arrival_fs", "seq")
+
+    def __init__(self, sim: Simulator, master: MasterHandle, seq: int):
+        self.master = master
+        self.granted = Event(sim, f"bus_grant.{master.name}")
+        self.arrival_fs = sim.now.femtoseconds
+        self.seq = seq
+
+
+class OsssChannel:
+    """Base class implementing a single shared transport medium.
+
+    Subclasses set the protocol cost parameters; the arbitration and
+    occupancy machinery lives here.  A point-to-point channel is simply a
+    channel that refuses more than the fixed number of masters.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        word_bits: int,
+        cycle: SimTime,
+        arbitration_cycles: int,
+        setup_cycles: int,
+        cycles_per_word: float,
+        policy: Optional[ArbitrationPolicy] = None,
+        max_masters: Optional[int] = None,
+        full_duplex: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.word_bits = word_bits
+        self.cycle = cycle
+        self.arbitration_cycles = arbitration_cycles
+        self.setup_cycles = setup_cycles
+        self.cycles_per_word = cycles_per_word
+        self.policy = policy or Fcfs()
+        self.max_masters = max_masters
+        #: Full-duplex media (dedicated wire pairs) carry concurrent
+        #: transfers without mutual exclusion; a shared bus serialises.
+        self.full_duplex = full_duplex
+        self.masters: list[MasterHandle] = []
+        self.stats = ChannelStats()
+        self._busy = False
+        self._last_master: Optional[int] = None
+        self._pending: list[_TransportRequest] = []
+        self._state_changed = Event(sim, f"{name}.state_changed")
+        self._seq = itertools.count()
+        sim.spawn(self._arbiter_loop(), name=f"{name}.arbiter")
+
+    # -- connection -------------------------------------------------------------
+
+    def connect_master(self, name: str, priority: int = 0) -> MasterHandle:
+        if self.max_masters is not None and len(self.masters) >= self.max_masters:
+            raise RuntimeError(
+                f"channel {self.name!r} accepts at most {self.max_masters} masters"
+            )
+        master = MasterHandle(len(self.masters), name, priority)
+        self.masters.append(master)
+        return master
+
+    # -- transport ---------------------------------------------------------------
+
+    def transfer_time(self, words: int) -> SimTime:
+        """Pure occupancy time of a granted transaction of *words* words."""
+        cycles = self.setup_cycles + self.cycles_per_word * words
+        return SimTime.from_fs(round(self.cycle.femtoseconds * cycles))
+
+    def transport(self, master: MasterHandle, words: int):
+        """Blocking transfer of *words* channel words; runs in caller process."""
+        if words < 0:
+            raise ValueError("word count must be non-negative")
+        if self.full_duplex:
+            occupancy = self.transfer_time(words)
+            if occupancy:
+                yield occupancy
+            self.stats.transactions += 1
+            self.stats.words += words
+            self.stats.busy_fs += occupancy.femtoseconds
+            return
+        request = _TransportRequest(self.sim, master, next(self._seq))
+        self._pending.append(request)
+        self._state_changed.notify(delta=True)
+        wait_start = self.sim.now
+        yield request.granted
+        self.stats.wait_fs += (self.sim.now - wait_start).femtoseconds
+        occupancy = self.transfer_time(words)
+        arbitration = SimTime.from_fs(self.cycle.femtoseconds * self.arbitration_cycles)
+        total = arbitration + occupancy
+        if total:
+            yield total
+        self.stats.transactions += 1
+        self.stats.words += words
+        self.stats.busy_fs += total.femtoseconds
+        self._busy = False
+        self._state_changed.notify(delta=True)
+
+    # -- arbitration ---------------------------------------------------------------
+
+    def _arbiter_loop(self):
+        while True:
+            granted = self._try_grant()
+            if not granted:
+                yield self._state_changed
+
+    def _try_grant(self) -> bool:
+        if self._busy or not self._pending:
+            return False
+        requests = {
+            id(req): Request(req.master.master_id, req.master.priority, req.arrival_fs, req.seq)
+            for req in self._pending
+        }
+        chosen_request = self.policy.select(list(requests.values()), self._last_master)
+        chosen = next(req for req in self._pending if requests[id(req)] is chosen_request)
+        self._pending.remove(chosen)
+        self._busy = True
+        self._last_master = chosen.master.master_id
+        chosen.granted.notify(delta=True)
+        return True
+
+    # -- reporting -----------------------------------------------------------------
+
+    def utilisation(self, elapsed: SimTime) -> float:
+        if not elapsed:
+            return 0.0
+        return self.stats.busy_fs / elapsed.femtoseconds
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, masters={len(self.masters)})"

@@ -1,0 +1,41 @@
+"""Hardware blocks: the 1-to-1 mapping target for OSSS modules.
+
+The VTA refinement replaces each Application-Layer module with a hardware
+block that connects it to the global clock and reset and (via its ports) to
+OSSS Channels.  For simulation the block pins the module to a clock domain
+so EETs can be expressed — and checked — in whole cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel import Clock, Module, SimTime, Simulator
+from ..core.module import OsssModule
+from ..core.timing import CycleBudget
+
+
+class HardwareBlock(Module):
+    """Clock/reset wrapper around a mapped OSSS module."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        module: OsssModule,
+        budget: CycleBudget,
+        parent: Optional[Module] = None,
+    ):
+        super().__init__(sim, name, parent)
+        if module.mapped_block is not None:
+            raise RuntimeError(f"module {module.name!r} is already mapped to a block")
+        self.module = module
+        self.budget = budget
+        module.mapped_block = self
+
+    def cycles(self, count: float) -> SimTime:
+        """Duration of *count* cycles of this block's clock domain."""
+        return self.budget.cycles(count)
+
+    def __repr__(self) -> str:
+        return f"HardwareBlock({self.name!r} <- {self.module.name!r})"

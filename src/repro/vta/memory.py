@@ -1,0 +1,151 @@
+"""Explicit memories: the Xilinx block-RAM model.
+
+The VTA refinement *explicit memory insertion* maps large arrays inside
+HW/SW Shared Objects into block RAM instead of letting synthesis blow them
+up into registers.  The price is serialised access: a block RAM port
+delivers one access per clock cycle, while register arrays are free.  That
+price is a large part of the IDWT-time inflation between models 3 and 6a.
+
+Two usage styles are provided:
+
+* :class:`BlockRam` — blocking, port-arbitrated ``read``/``write``
+  generators for cycle-accurate access sequences;
+* :class:`MemoryBackedArray` — drop-in replacement for
+  :class:`~repro.core.datatypes.OsssArray` (the paper's
+  ``xilinx_block_ram<osss_array<...>>`` wrapper): accesses are counted and
+  the owning timed region charges the accumulated cycle debt in one go,
+  which keeps simulation fast for bulk processing loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..kernel import Mutex, SimTime, Simulator
+from ..core.datatypes import OsssArray
+
+
+class MemoryCapacityError(RuntimeError):
+    """A mapping request exceeds the physical capacity of the memory."""
+
+
+class BlockRam:
+    """A true-dual-port-capable synchronous RAM with per-port serialisation."""
+
+    #: Bits in one Virtex-4 RAMB16 primitive.
+    PRIMITIVE_BITS = 18 * 1024
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cycle: SimTime,
+        name: str = "bram",
+        data_bits: int = 32,
+        address_bits: int = 16,
+        ports: int = 1,
+        latency_cycles: int = 1,
+    ):
+        if ports not in (1, 2):
+            raise ValueError("block RAM supports 1 or 2 ports")
+        self.sim = sim
+        self.cycle = cycle
+        self.name = name
+        self.data_bits = data_bits
+        self.address_bits = address_bits
+        self.depth = 1 << address_bits
+        self.ports = ports
+        self.latency_cycles = latency_cycles
+        self._storage: dict[int, int] = {}
+        self._port_locks = [Mutex(sim, f"{name}.port{i}") for i in range(ports)]
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth * self.data_bits
+
+    @property
+    def primitives(self) -> int:
+        """Number of RAMB16 primitives this memory occupies."""
+        return max(1, math.ceil(self.capacity_bits / self.PRIMITIVE_BITS))
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.depth:
+            raise MemoryCapacityError(
+                f"address {address} outside {self.name!r} (depth {self.depth})"
+            )
+
+    def access_time(self, accesses: int) -> SimTime:
+        """Duration of *accesses* back-to-back single-port accesses."""
+        return SimTime.from_fs(self.cycle.femtoseconds * self.latency_cycles * accesses)
+
+    # -- blocking accessors (cycle-accurate style) --------------------------------
+
+    def read(self, address: int, port: int = 0):
+        """Blocking read; ``value = yield from ram.read(addr)``."""
+        self._check_address(address)
+        lock = self._port_locks[port]
+        token = yield from lock.lock()
+        yield self.access_time(1)
+        lock.unlock(token)
+        self.reads += 1
+        return self._storage.get(address, 0)
+
+    def write(self, address: int, value: int, port: int = 0):
+        """Blocking write; ``yield from ram.write(addr, value)``."""
+        self._check_address(address)
+        lock = self._port_locks[port]
+        token = yield from lock.lock()
+        yield self.access_time(1)
+        lock.unlock(token)
+        self.writes += 1
+        self._storage[address] = value
+
+    # -- bulk/debt style -----------------------------------------------------------
+
+    def back_array(self, array: OsssArray, base_address: int = 0) -> "MemoryBackedArray":
+        """Map an ``osss_array`` into this RAM (explicit memory insertion)."""
+        needed = base_address + array.length
+        if needed > self.depth:
+            raise MemoryCapacityError(
+                f"array of {array.length} elements at base {base_address} does not "
+                f"fit {self.name!r} (depth {self.depth})"
+            )
+        return MemoryBackedArray(self, array, base_address)
+
+
+class MemoryBackedArray:
+    """Storage policy turning array accesses into RAM cycle debt.
+
+    Behavioural code keeps indexing the ``osss_array`` exactly as on the
+    Application Layer; every access is counted here, and the enclosing
+    generator settles the debt with ``yield mem.settle()`` at natural
+    boundaries (per line, per tile, ...).
+    """
+
+    def __init__(self, ram: BlockRam, array: OsssArray, base_address: int):
+        self.ram = ram
+        self.array = array
+        self.base_address = base_address
+        self._pending_accesses = 0
+        array.storage_policy = self
+
+    # storage-policy hooks called synchronously by OsssArray
+    def on_read(self, index: int) -> None:
+        self.ram.reads += 1
+        self._pending_accesses += 1
+
+    def on_write(self, index: int) -> None:
+        self.ram.writes += 1
+        self._pending_accesses += 1
+
+    @property
+    def pending_accesses(self) -> int:
+        return self._pending_accesses
+
+    def settle(self) -> SimTime:
+        """Cycle debt accumulated since the last settle (then cleared)."""
+        accesses = self._pending_accesses
+        self._pending_accesses = 0
+        return self.ram.access_time(accesses)

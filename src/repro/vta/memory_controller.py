@@ -1,0 +1,54 @@
+"""The multi-channel DDR-RAM controller front end.
+
+The case-study platform keeps the coded image and the decoded output in
+external DDR RAM behind a multi-channel memory controller (the MCH block of
+the paper's figures).  Processors and DMA-capable blocks issue bulk
+read/write requests; channels are arbitrated first-come-first-served and a
+burst costs activation latency plus a per-word streaming cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel import SimTime, Simulator
+from ..core.arbiter import ArbitrationPolicy, Fcfs
+from .channel_base import MasterHandle, OsssChannel
+
+
+class DdrMemoryController(OsssChannel):
+    """Bulk-transfer interface to external DDR memory.
+
+    Defaults model a DDR-266 style part behind a 100 MHz controller:
+    ~20 cycles activate+CAS latency per burst, then one 32-bit word per
+    controller cycle.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cycle: SimTime,
+        name: str = "ddr",
+        word_bits: int = 32,
+        activation_cycles: int = 20,
+        cycles_per_word: float = 1.0,
+        policy: Optional[ArbitrationPolicy] = None,
+    ):
+        super().__init__(
+            sim,
+            name,
+            word_bits=word_bits,
+            cycle=cycle,
+            arbitration_cycles=1,
+            setup_cycles=activation_cycles,
+            cycles_per_word=cycles_per_word,
+            policy=policy or Fcfs(),
+        )
+
+    def read_burst(self, master: MasterHandle, words: int):
+        """Blocking burst read of *words* words."""
+        yield from self.transport(master, words)
+
+    def write_burst(self, master: MasterHandle, words: int):
+        """Blocking burst write of *words* words."""
+        yield from self.transport(master, words)

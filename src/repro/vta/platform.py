@@ -1,0 +1,68 @@
+"""Target platform descriptions.
+
+The case study targets a Xilinx ML401 evaluation board: a Virtex-4 LX25
+FPGA, an on-chip processor subsystem, the IBM CoreConnect OPB bus and a
+multi-channel DDR-RAM controller, everything clocked at 100 MHz.  The
+platform object is the single place those facts live; VTA building blocks
+take their clocking from it, and FOSSY's platform-file generator reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel import Clock, SimTime, Simulator
+from ..core.timing import CycleBudget
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource envelope of an FPGA part (used by the synthesis estimator)."""
+
+    part: str
+    slices: int
+    slice_flip_flops: int
+    luts4: int
+    block_rams: int
+    dsp48: int
+
+    def utilisation(self, slices_used: int) -> float:
+        return slices_used / self.slices
+
+
+#: The paper's device: Virtex-4 LX25 (10,752 slices, 21,504 FF/LUT).
+VIRTEX4_LX25 = FpgaDevice(
+    part="xc4vlx25",
+    slices=10752,
+    slice_flip_flops=21504,
+    luts4=21504,
+    block_rams=72,
+    dsp48=48,
+)
+
+
+@dataclass
+class TargetPlatform:
+    """A board-level target: device plus system clock."""
+
+    name: str
+    device: FpgaDevice
+    frequency_hz: float
+    processor_kind: str = "ppc405"
+    bus_kind: str = "opb"
+
+    @property
+    def budget(self) -> CycleBudget:
+        return CycleBudget(self.frequency_hz)
+
+    @property
+    def clock_period(self) -> SimTime:
+        return self.budget.cycle
+
+    def make_clock(self, sim: Simulator, name: str = "sys_clk") -> Clock:
+        return Clock(sim, self.clock_period, name=name)
+
+
+def ml401(frequency_hz: float = 100e6) -> TargetPlatform:
+    """The case study's Xilinx ML401 board at 100 MHz."""
+    return TargetPlatform(name="ml401", device=VIRTEX4_LX25, frequency_hz=frequency_hz)

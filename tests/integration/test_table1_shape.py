@@ -1,0 +1,94 @@
+"""The complete Table 1 reconstruction and every prose relation around it.
+
+This is the headline experiment: both modes, all nine versions, checked
+against every quantitative statement the paper makes (the exact cell
+values are lost from the available copy; the relations are not).
+"""
+
+import pytest
+
+from repro.casestudy import build_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return build_table1()
+
+
+@pytest.fixture(scope="module")
+def relations(table1):
+    return table1.shape_relations()
+
+
+class TestBaselines:
+    def test_version1_absolute_times(self, table1):
+        row = table1.row("1")
+        assert row.decode_ms["lossless"] == pytest.approx(3243.2, abs=1.0)
+        assert row.decode_ms["lossy"] == pytest.approx(3664.1, abs=1.0)
+
+    def test_all_rows_present_in_order(self, table1):
+        assert [row.version for row in table1.rows] == [
+            "1", "2", "3", "4", "5", "6a", "6b", "7a", "7b"
+        ]
+
+    def test_layer_assignment(self, table1):
+        assert table1.row("5").layer == "application"
+        assert table1.row("6a").layer == "vta"
+
+
+class TestApplicationLayerRelations:
+    def test_v2_speedup_about_10_and_19_percent(self, relations):
+        assert relations["lossless"]["v2_speedup"] == pytest.approx(1.10, abs=0.03)
+        assert relations["lossy"]["v2_speedup"] == pytest.approx(1.19, abs=0.03)
+
+    def test_v3_small_impact(self, relations):
+        for mode in ("lossless", "lossy"):
+            assert relations[mode]["v3_vs_v2"] == pytest.approx(1.0, abs=0.03)
+
+    def test_v4_v5_speedups_about_4_5_and_5(self, relations):
+        assert relations["lossless"]["v4_speedup"] == pytest.approx(4.5, abs=0.3)
+        assert relations["lossy"]["v4_speedup"] == pytest.approx(5.0, abs=0.4)
+        assert relations["lossless"]["v5_speedup"] == pytest.approx(4.5, abs=0.3)
+        assert relations["lossy"]["v5_speedup"] == pytest.approx(5.0, abs=0.4)
+
+
+class TestVtaRelations:
+    def test_idwt_inflation_6a(self, relations):
+        for mode in ("lossless", "lossy"):
+            assert 1.8 < relations[mode]["idwt_6a_vs_3"] < 9.0
+
+    def test_7a_worse_than_6a(self, relations):
+        for mode in ("lossless", "lossy"):
+            assert relations[mode]["idwt_7a_vs_6a"] > 1.0
+
+    def test_6b_equals_7b(self, relations):
+        for mode in ("lossless", "lossy"):
+            assert relations[mode]["idwt_7b_vs_6b"] == pytest.approx(1.0, abs=0.10)
+
+    def test_idwt_hw_speedup_order_of_magnitude(self, relations):
+        """Paper: factor 12 (lossless) / 16 (lossy) vs software."""
+        assert 9.0 < relations["lossless"]["idwt_speedup_6b"] < 15.0
+        assert 10.0 < relations["lossy"]["idwt_speedup_6b"] < 18.0
+
+    def test_vta_overall_time_close_to_application_layer(self, table1):
+        for app, vta in (("3", "6a"), ("3", "6b"), ("5", "7a"), ("5", "7b")):
+            for mode in ("lossless", "lossy"):
+                app_ms = table1.row(app).decode_ms[mode]
+                vta_ms = table1.row(vta).decode_ms[mode]
+                assert vta_ms == pytest.approx(app_ms, rel=0.10)
+
+
+class TestMonotoneStructure:
+    def test_every_version_beats_or_matches_v1(self, table1):
+        v1 = table1.row("1")
+        for row in table1.rows[1:]:
+            for mode in ("lossless", "lossy"):
+                assert row.decode_ms[mode] <= v1.decode_ms[mode]
+
+    def test_lossy_always_slower_than_lossless(self, table1):
+        for row in table1.rows:
+            assert row.decode_ms["lossy"] > row.decode_ms["lossless"]
+
+    def test_subset_selection(self):
+        partial = build_table1(versions=["1", "2"])
+        assert [row.version for row in partial.rows] == ["1", "2"]

@@ -1,0 +1,78 @@
+"""Property-based tests of the wavelet transforms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.jpeg2000 import dwt
+
+
+signals_1d = arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.integers(min_value=-(2**15), max_value=2**15 - 1),
+)
+
+tiles_2d = arrays(
+    dtype=np.int64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=40)
+    ),
+    elements=st.integers(min_value=-255, max_value=255),
+)
+
+
+@given(signals_1d)
+@settings(max_examples=150, deadline=None)
+def test_53_1d_perfect_reconstruction(signal):
+    low, high = dwt.fdwt53_1d(signal)
+    assert np.array_equal(dwt.idwt53_1d(low, high), signal)
+
+
+@given(signals_1d)
+@settings(max_examples=150, deadline=None)
+def test_53_band_lengths_partition_signal(signal):
+    low, high = dwt.fdwt53_1d(signal)
+    n = signal.shape[0]
+    assert low.shape[0] == (n + 1) // 2
+    assert high.shape[0] == n // 2
+
+
+@given(signals_1d)
+@settings(max_examples=100, deadline=None)
+def test_97_1d_reconstruction_tolerance(signal):
+    x = signal.astype(np.float64)
+    low, high = dwt.fdwt97_1d(x)
+    assert np.allclose(dwt.idwt97_1d(low, high), x, atol=1e-6)
+
+
+@given(tiles_2d, st.integers(min_value=0, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_53_2d_multilevel_reconstruction(tile, levels)        :
+    subbands = dwt.forward(tile, "5/3", levels)
+    assert np.array_equal(dwt.inverse(subbands), tile)
+
+
+@given(tiles_2d, st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_97_2d_multilevel_reconstruction(tile, levels):
+    subbands = dwt.forward(tile, "9/7", levels)
+    assert np.allclose(dwt.inverse(subbands), tile, atol=1e-5)
+
+
+@given(tiles_2d, st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_band_shapes_tile_the_plane(tile, levels):
+    """Subband areas must sum to the tile area at every level count."""
+    subbands = dwt.forward(tile, "5/3", levels)
+    total = sum(arr.size for _, _, arr in subbands.iter_bands())
+    assert total == tile.size
+
+
+@given(signals_1d)
+@settings(max_examples=100, deadline=None)
+def test_53_shift_invariance_of_dc(signal):
+    """Adding a constant shifts only the low band (high band invariant)."""
+    _, high_a = dwt.fdwt53_1d(signal)
+    _, high_b = dwt.fdwt53_1d(signal + 64)
+    assert np.array_equal(high_a, high_b)

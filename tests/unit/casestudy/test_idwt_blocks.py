@@ -1,0 +1,126 @@
+"""The IDWT subsystem blocks in isolation (control + filter pipeline)."""
+
+import pytest
+
+from repro.casestudy.idwt_blocks import Idwt2dControl, IdwtFilterBlock, IdwtMetrics
+from repro.casestudy.messages import WirePayload
+from repro.casestudy.shared_objects import IdwtParamsBehaviour, TileStoreBehaviour
+from repro.casestudy.workload import paper_workload
+from repro.core import FunctionTask, SharedObject
+from repro.kernel import Simulator, ms
+
+
+def build_subsystem(sim, workload, total_jobs):
+    store = TileStoreBehaviour(workload, capacity_tiles=8)
+    store_so = SharedObject(sim, "store", store)
+    params_so = SharedObject(sim, "params", IdwtParamsBehaviour())
+    metrics = IdwtMetrics()
+    control = Idwt2dControl(sim, "idwt2d", workload, total_jobs)
+    control.store_port.bind(store_so)
+    control.params_port.bind(params_so)
+    filters = [
+        IdwtFilterBlock(sim, "idwt53", workload, "5/3", metrics),
+        IdwtFilterBlock(sim, "idwt97", workload, "9/7", metrics),
+    ]
+    for block in filters:
+        block.store_port.bind(store_so)
+        block.params_port.bind(params_so)
+    control.start()
+    for block in filters:
+        block.start()
+    return store, store_so, metrics, filters
+
+
+class TestFilterPipeline:
+    def test_processes_submitted_components(self):
+        sim = Simulator()
+        workload = paper_workload(True)
+        store, store_so, metrics, _ = build_subsystem(sim, workload, total_jobs=3)
+
+        def feeder(task):
+            for component in range(3):
+                yield from task.p.call(
+                    "put_component", 0, component, WirePayload(workload.words_per_component)
+                )
+            result = yield from task.p.call("get_result", 0)
+            task.result = result
+
+        task = FunctionTask(sim, "feeder", feeder)
+        port = task.port("p")
+        port.bind(store_so)
+        task.p = port
+        task.start()
+        sim.run()
+        assert task.finished
+        assert metrics.jobs == 3
+        assert metrics.busy_ms > 0
+
+    def test_mode_routing(self):
+        """Lossless jobs run on the 5/3 filter, lossy on the 9/7 one."""
+        for lossless in (True, False):
+            sim = Simulator()
+            workload = paper_workload(lossless)
+            store, store_so, metrics, filters = build_subsystem(sim, workload, 3)
+
+            def feeder(task):
+                for component in range(workload.num_components):
+                    yield from task.p.call("put_component", 0, component, WirePayload(1))
+                yield from task.p.call("get_result", 0)
+
+            task = FunctionTask(sim, "feeder", feeder)
+            port = task.port("p")
+            port.bind(store_so)
+            task.p = port
+            task.start()
+            sim.run()
+            assert task.finished
+
+    def test_compute_scale_inflates_busy_time(self):
+        def run(scale):
+            sim = Simulator()
+            workload = paper_workload(True)
+            store, store_so, metrics, filters = build_subsystem(sim, workload, 3)
+            for block in filters:
+                block.compute_time_scale = scale
+
+            def feeder(task):
+                for component in range(workload.num_components):
+                    yield from task.p.call("put_component", 0, component, WirePayload(1))
+                yield from task.p.call("get_result", 0)
+
+            task = FunctionTask(sim, "feeder", feeder)
+            port = task.port("p")
+            port.bind(store_so)
+            task.p = port
+            task.start()
+            sim.run()
+            return metrics.busy_ms
+
+        assert run(2.0) > 1.5 * run(1.0)
+
+    def test_invalid_mode_rejected(self):
+        sim = Simulator()
+        workload = paper_workload(True)
+        with pytest.raises(ValueError, match="mode"):
+            IdwtFilterBlock(sim, "bad", workload, "4/2", IdwtMetrics())
+
+
+class TestMetrics:
+    def test_union_accounts_overlap_once(self):
+        metrics = IdwtMetrics()
+        # two jobs overlapping: union is 0..30, latencies 20+20
+        metrics.job_started(0)
+        metrics.job_started(10_000)
+        metrics.job_finished(20_000, 0)
+        metrics.job_finished(30_000, 10_000)
+        assert metrics.busy_fs == 30_000
+        assert metrics.latency_fs == 40_000
+        assert metrics.jobs == 2
+
+    def test_disjoint_jobs_sum(self):
+        metrics = IdwtMetrics()
+        metrics.job_started(0)
+        metrics.job_finished(10_000, 0)
+        metrics.job_started(50_000)
+        metrics.job_finished(65_000, 50_000)
+        assert metrics.busy_fs == 25_000

@@ -1,0 +1,136 @@
+"""osss_array, sized integers, and software-task mechanics."""
+
+import pytest
+
+from repro.core import (
+    AccessCounter,
+    FunctionTask,
+    IntN,
+    OsssArray,
+    SoftwareTask,
+    UIntN,
+)
+from repro.kernel import Simulator, ms, ns
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSizedIntegers:
+    def test_uint_wraps_modulo(self):
+        assert UIntN(300, 8) == 44
+        assert UIntN(255, 8) == 255
+
+    def test_uint_width_validation(self):
+        with pytest.raises(ValueError):
+            UIntN(1, 0)
+
+    def test_int_two_complement_wrap(self):
+        assert IntN(130, 8) == -126
+        assert IntN(-129, 8) == 127
+        assert IntN(-1, 8) == -1
+
+    def test_payload_bits_match_width(self):
+        assert UIntN(3, 12).payload_bits() == 12
+        assert IntN(-3, 16).payload_bits() == 16
+
+
+class TestOsssArray:
+    def test_read_write(self):
+        array = OsssArray(8, element_bits=16)
+        array[3] = 42
+        assert array[3] == 42
+        assert len(array) == 8
+
+    def test_payload_bits(self):
+        assert OsssArray(261, element_bits=18).payload_bits() == 261 * 18
+
+    def test_load_bulk(self):
+        array = OsssArray(4, element_bits=8)
+        array.load([1, 2, 3], offset=1)
+        assert list(array) == [0, 1, 2, 3]
+
+    def test_storage_policy_counts_accesses(self):
+        array = OsssArray(4, element_bits=8)
+        counter = AccessCounter()
+        array.storage_policy = counter
+        array[0] = 1
+        _ = array[0]
+        _ = array[1]
+        assert counter.writes == 1
+        assert counter.reads == 2
+        assert counter.total == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OsssArray(0, 8)
+        with pytest.raises(ValueError):
+            OsssArray(4, 0)
+
+
+class TestSoftwareTask:
+    def test_subclass_main_runs(self, sim):
+        marks = []
+
+        class MyTask(SoftwareTask):
+            def main(self):
+                yield from self.eet(ms(1))
+                marks.append(self.sim.now)
+
+        task = MyTask(sim, "t")
+        task.start()
+        sim.run()
+        assert marks == [ms(1)]
+
+    def test_start_idempotent(self, sim):
+        class MyTask(SoftwareTask):
+            def main(self):
+                yield ns(1)
+
+        task = MyTask(sim, "t")
+        first = task.start()
+        second = task.start()
+        assert first is second
+
+    def test_main_must_be_overridden(self, sim):
+        task = SoftwareTask(sim, "t")
+        task.start()
+        with pytest.raises(Exception, match="must implement"):
+            sim.run()
+
+    def test_eet_scale_multiplies(self, sim):
+        marks = []
+
+        class MyTask(SoftwareTask):
+            def main(self):
+                yield from self.eet(ms(1))
+                marks.append(self.sim.now)
+
+        task = MyTask(sim, "t")
+        task.eet_scale = 2.0
+        task.start()
+        sim.run()
+        assert marks == [ms(2)]
+
+    def test_function_task_receives_args(self, sim):
+        results = []
+
+        def body(task, first, second):
+            yield ns(1)
+            results.append((task.name, first, second))
+
+        FunctionTask(sim, "ft", body, "a", "b").start()
+        sim.run()
+        assert results == [("ft", "a", "b")]
+
+    def test_finished_property(self, sim):
+        def body(task):
+            yield ns(1)
+
+        task = FunctionTask(sim, "t", body)
+        assert not task.finished
+        task.start()
+        sim.run()
+        assert task.finished

@@ -1,0 +1,97 @@
+"""EET / RET annotations and the cycle budget."""
+
+import pytest
+
+from repro.core import CycleBudget, RetViolation, eet, ret
+from repro.kernel import Simulator, ms, ns, us
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEet:
+    def test_consumes_annotated_time(self, sim):
+        marks = []
+
+        def body():
+            yield from eet(ms(180))
+            marks.append(sim.now)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        assert marks == [ms(180)]
+
+    def test_body_runs_functionally(self, sim):
+        results = []
+
+        def body():
+            value = yield from eet(ns(10), lambda: 6 * 7)
+            results.append(value)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        assert results == [42]
+
+
+class TestRet:
+    def test_within_bound_passes(self, sim):
+        results = []
+
+        def inner():
+            yield ns(50)
+            return "ok"
+
+        def body():
+            value = yield from ret(sim, ns(100), inner(), "deadline")
+            results.append(value)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        assert results == ["ok"]
+
+    def test_violation_raises(self, sim):
+        def inner():
+            yield ns(200)
+
+        def body():
+            yield from ret(sim, ns(100), inner(), "deadline")
+
+        sim.spawn(body(), "p")
+        with pytest.raises(Exception, match="deadline"):
+            sim.run()
+
+    def test_violation_reports_times(self, sim):
+        def inner():
+            yield us(3)
+
+        def body():
+            yield from ret(sim, us(1), inner(), "hard")
+
+        sim.spawn(body(), "p")
+        with pytest.raises(Exception) as info:
+            sim.run()
+        assert isinstance(info.value.cause, RetViolation)
+        assert info.value.cause.bound == us(1)
+        assert info.value.cause.actual == us(3)
+
+
+class TestCycleBudget:
+    def test_cycle_period(self):
+        budget = CycleBudget(100e6)
+        assert budget.cycle == ns(10)
+
+    def test_cycles_duration(self):
+        budget = CycleBudget(100e6)
+        assert budget.cycles(100) == us(1)
+        assert budget.cycles(2.5) == ns(25)
+
+    def test_cycles_for_ceiling(self):
+        budget = CycleBudget(100e6)
+        assert budget.cycles_for(ns(25)) == 3
+        assert budget.cycles_for(ns(30)) == 3
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CycleBudget(0)

@@ -1,0 +1,165 @@
+"""Behavioural AST and the FOSSY inlining transformation."""
+
+import pytest
+
+from repro.fossy import (
+    Assign,
+    Bin,
+    Call,
+    Const,
+    Design,
+    For,
+    If,
+    InlineError,
+    Procedure,
+    Tick,
+    Var,
+    count_statements,
+    inline_design,
+)
+from repro.fossy.behaviour import walk_statements
+from repro.fossy.inline import substitute
+
+
+def simple_design():
+    x = Var("x", 8)
+    y = Var("y", 8)
+    temp = Var("temp", 8)
+    double = Procedure(
+        name="double",
+        params=[x],
+        locals=[temp],
+        body=[
+            Assign(temp, Bin("+", x, x, 8)),
+            Tick(),
+            Assign(Var("result", 8), temp),
+        ],
+    )
+    return Design(
+        name="demo",
+        registers=[Var("result", 8), y],
+        procedures=[double],
+        main=[
+            Assign(y, Const(5, 8)),
+            Call("double", [y]),
+            Call("double", [Const(7, 8)]),
+        ],
+    )
+
+
+class TestAst:
+    def test_count_statements_recursive(self):
+        body = [
+            Assign(Var("a"), Const(1)),
+            For(Var("i"), Const(0), Const(4), [Assign(Var("b"), Const(2)), Tick()]),
+            If(Const(1, 1), [Assign(Var("c"), Const(3))], [Tick()]),
+        ]
+        assert count_statements(body) == 7
+
+    def test_walk_visits_nested(self):
+        body = [If(Const(1, 1), [For(Var("i"), Const(0), Const(2), [Tick()])], [])]
+        kinds = [type(s).__name__ for s in walk_statements(body)]
+        assert kinds == ["If", "For", "Tick"]
+
+    def test_validate_checks_call_targets(self):
+        design = simple_design()
+        design.main.append(Call("missing"))
+        with pytest.raises(KeyError):
+            design.validate()
+
+    def test_duplicate_procedures_rejected(self):
+        design = simple_design()
+        design.procedures.append(Procedure(name="double"))
+        with pytest.raises(ValueError, match="duplicate"):
+            design.validate()
+
+
+class TestSubstitute:
+    def test_var_replaced(self):
+        expr = Bin("+", Var("a"), Var("b"))
+        out = substitute(expr, {"a": Const(3)})
+        assert out.left == Const(3)
+        assert out.right == Var("b")
+
+    def test_memref_address_substituted(self):
+        from repro.fossy import MemRef
+
+        expr = MemRef("ram", Var("k"), 16)
+        out = substitute(expr, {"k": Const(7)})
+        assert out.addr == Const(7)
+
+
+class TestInlining:
+    def test_calls_disappear(self):
+        inlined = inline_design(simple_design())
+        assert not inlined.procedures
+        assert not any(
+            isinstance(stmt, Call) for stmt in walk_statements(inlined.main)
+        )
+
+    def test_body_duplicated_per_call_site(self):
+        design = simple_design()
+        original = count_statements(design.main)
+        inlined = inline_design(design)
+        body = count_statements(design.procedure("double").body)
+        assert count_statements(inlined.main) == original - 2 + 2 * body
+
+    def test_locals_renamed_per_site(self):
+        inlined = inline_design(simple_design())
+        names = [reg.name for reg in inlined.registers]
+        assert "double_i1_temp" in names
+        assert "double_i2_temp" in names
+
+    def test_arguments_bound(self):
+        inlined = inline_design(simple_design())
+        assigns = [s for s in walk_statements(inlined.main) if isinstance(s, Assign)]
+        # the second call site passed Const(7): the expanded body adds 7+7
+        const_add = [
+            s for s in assigns
+            if isinstance(s.expr, Bin) and s.expr.left == Const(7, 8)
+        ]
+        assert const_add
+
+    def test_nested_calls_expand(self):
+        inner = Procedure("inner", body=[Assign(Var("a"), Const(1)), Tick()])
+        outer = Procedure("outer", body=[Call("inner"), Call("inner")])
+        design = Design(
+            name="nested",
+            registers=[Var("a")],
+            procedures=[inner, outer],
+            main=[Call("outer")],
+        )
+        inlined = inline_design(design)
+        ticks = [s for s in walk_statements(inlined.main) if isinstance(s, Tick)]
+        assert len(ticks) == 2
+
+    def test_recursion_rejected(self):
+        loop = Procedure("loop", body=[Call("loop")])
+        design = Design(name="rec", procedures=[loop], main=[Call("loop")])
+        with pytest.raises(InlineError, match="recursi"):
+            inline_design(design)
+
+    def test_arity_mismatch_rejected(self):
+        design = simple_design()
+        design.main.append(Call("double", []))
+        with pytest.raises(InlineError, match="arguments"):
+            inline_design(design)
+
+    def test_assignment_through_expression_parameter_rejected(self):
+        x = Var("x", 8)
+        bad = Procedure("bad", params=[x], body=[Assign(x, Const(0, 8))])
+        design = Design(
+            name="d",
+            registers=[],
+            procedures=[bad],
+            main=[Call("bad", [Bin("+", Const(1, 8), Const(2, 8), 8)])],
+        )
+        with pytest.raises(InlineError, match="expression"):
+            inline_design(design)
+
+    def test_original_design_untouched(self):
+        design = simple_design()
+        before = count_statements(design.main)
+        inline_design(design)
+        assert count_statements(design.main) == before
+        assert design.procedures

@@ -1,0 +1,112 @@
+"""EBCOT context tables (T.800 Annex D)."""
+
+import pytest
+
+from repro.jpeg2000.context import (
+    CTX_RUN,
+    CTX_UNI,
+    HH,
+    HL,
+    LH,
+    LL,
+    NUM_CONTEXTS,
+    initial_contexts,
+    mr_context,
+    sc_context,
+    zc_context,
+)
+
+
+class TestInitialStates:
+    def test_bank_size(self):
+        assert len(initial_contexts()) == NUM_CONTEXTS == 19
+
+    def test_standard_initialisation(self):
+        bank = initial_contexts()
+        assert bank[0].index == 4  # all-zero-neighbourhood ZC
+        assert bank[CTX_RUN].index == 3
+        assert bank[CTX_UNI].index == 46
+        # everything else starts at state 0
+        for index, ctx in enumerate(bank):
+            if index not in (0, CTX_RUN, CTX_UNI):
+                assert ctx.index == 0
+
+
+class TestZeroCoding:
+    def test_all_zero_neighbourhood(self):
+        for orientation in (LL, HL, LH, HH):
+            assert zc_context(orientation, 0, 0, 0) == 0
+
+    def test_lh_table_rows(self):
+        # T.800 Table D.1 spot checks for LL/LH
+        assert zc_context(LH, 2, 0, 0) == 8
+        assert zc_context(LH, 1, 1, 0) == 7
+        assert zc_context(LH, 1, 0, 1) == 6
+        assert zc_context(LH, 1, 0, 0) == 5
+        assert zc_context(LH, 0, 2, 0) == 4
+        assert zc_context(LH, 0, 1, 0) == 3
+        assert zc_context(LH, 0, 0, 2) == 2
+        assert zc_context(LH, 0, 0, 1) == 1
+
+    def test_hl_swaps_h_and_v(self):
+        for h in range(3):
+            for v in range(3):
+                for d in range(5):
+                    assert zc_context(HL, h, v, d) == zc_context(LH, v, h, d)
+
+    def test_hh_diagonal_dominant(self):
+        assert zc_context(HH, 0, 0, 3) == 8
+        assert zc_context(HH, 1, 1, 2) == 7
+        assert zc_context(HH, 0, 0, 2) == 6
+        assert zc_context(HH, 2, 0, 1) == 5
+        assert zc_context(HH, 1, 0, 1) == 4
+        assert zc_context(HH, 0, 0, 1) == 3
+        assert zc_context(HH, 2, 0, 0) == 2
+        assert zc_context(HH, 1, 0, 0) == 1
+
+    def test_unknown_orientation_rejected(self):
+        with pytest.raises(ValueError):
+            zc_context("XX", 0, 0, 0)
+
+    def test_range_is_0_to_8(self):
+        for orientation in (LL, HL, LH, HH):
+            for h in range(3):
+                for v in range(3):
+                    for d in range(5):
+                        assert 0 <= zc_context(orientation, h, v, d) <= 8
+
+
+class TestSignCoding:
+    def test_table_entries(self):
+        assert sc_context(0, 0) == (9, 0)
+        assert sc_context(1, 1) == (13, 0)
+        assert sc_context(-1, -1) == (13, 1)
+        assert sc_context(0, -1) == (10, 1)
+        assert sc_context(-1, 0) == (12, 1)
+
+    def test_symmetry_negation_flips_xor(self):
+        for h in (-1, 0, 1):
+            for v in (-1, 0, 1):
+                if (h, v) == (0, 0):
+                    continue
+                ctx_pos, xor_pos = sc_context(h, v)
+                ctx_neg, xor_neg = sc_context(-h, -v)
+                assert ctx_pos == ctx_neg
+                assert xor_pos != xor_neg
+
+    def test_context_range(self):
+        for h in (-1, 0, 1):
+            for v in (-1, 0, 1):
+                ctx, xor_bit = sc_context(h, v)
+                assert 9 <= ctx <= 13
+                assert xor_bit in (0, 1)
+
+
+class TestMagnitudeRefinement:
+    def test_first_refinement_contexts(self):
+        assert mr_context(True, False) == 14
+        assert mr_context(True, True) == 15
+
+    def test_later_refinements(self):
+        assert mr_context(False, False) == 16
+        assert mr_context(False, True) == 16

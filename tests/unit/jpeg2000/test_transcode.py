@@ -1,0 +1,78 @@
+"""Layer-dropping transcoder: byte surgery, not re-encoding."""
+
+import pytest
+
+from repro.jpeg2000 import (
+    CodingParameters,
+    Jpeg2000Decoder,
+    decode_codestream,
+    encode_image,
+    synthetic_image,
+)
+from repro.jpeg2000.codestream import PROGRESSION_RLCP
+from repro.jpeg2000.transcode import TranscodeError, drop_layers
+
+
+def params(**overrides):
+    defaults = dict(
+        width=64, height=64, num_components=3,
+        tile_width=32, tile_height=32, num_levels=3,
+        lossless=False, num_layers=5, base_step=1 / 8,
+    )
+    defaults.update(overrides)
+    return CodingParameters(**defaults)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(64, 64, 3, seed=9)
+
+
+@pytest.fixture(scope="module")
+def codestream(image):
+    return encode_image(image, params())
+
+
+class TestDropLayers:
+    @pytest.mark.parametrize("keep", [1, 2, 4])
+    def test_matches_prefix_decode_exactly(self, codestream, keep):
+        transcoded = drop_layers(codestream, keep)
+        reference = Jpeg2000Decoder(codestream, max_layers=keep).decode()
+        assert decode_codestream(transcoded) == reference
+
+    def test_output_is_smaller(self, codestream):
+        assert len(drop_layers(codestream, 1)) < len(codestream) / 2
+
+    def test_keep_all_is_identity(self, codestream):
+        assert drop_layers(codestream, 5) == codestream
+        assert drop_layers(codestream, 9) == codestream
+
+    def test_header_announces_reduced_layers(self, codestream):
+        transcoded = drop_layers(codestream, 2)
+        assert Jpeg2000Decoder(transcoded).parameters.num_layers == 2
+
+    def test_transcoded_stream_is_transcodable_again(self, codestream):
+        twice = drop_layers(drop_layers(codestream, 3), 1)
+        once = drop_layers(codestream, 1)
+        assert decode_codestream(twice) == decode_codestream(once)
+
+    def test_zero_layers_rejected(self, codestream):
+        with pytest.raises(TranscodeError, match="at least one"):
+            drop_layers(codestream, 0)
+
+    def test_rlcp_streams_rejected(self, image):
+        rlcp = encode_image(image, params(progression=PROGRESSION_RLCP))
+        with pytest.raises(TranscodeError, match="LRCP"):
+            drop_layers(rlcp, 1)
+
+    def test_works_with_resilience_markers(self, image):
+        marked = encode_image(image, params(use_sop=True, use_eph=True))
+        transcoded = drop_layers(marked, 2)
+        reference = Jpeg2000Decoder(marked, max_layers=2).decode()
+        assert decode_codestream(transcoded) == reference
+
+    def test_lossless_streams_supported(self, image):
+        lossless = encode_image(image, params(lossless=True))
+        transcoded = drop_layers(lossless, 3)
+        reference = Jpeg2000Decoder(lossless, max_layers=3).decode()
+        assert decode_codestream(transcoded) == reference

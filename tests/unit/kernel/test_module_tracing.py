@@ -1,0 +1,149 @@
+"""Module hierarchy and value-change tracing."""
+
+import pytest
+
+from repro.kernel import Module, Signal, Simulator, Trace, ns
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestModuleHierarchy:
+    def test_full_names(self, sim):
+        top = Module(sim, "top")
+        child = Module(sim, "dec", parent=top)
+        grandchild = Module(sim, "idwt", parent=child)
+        assert grandchild.name == "top.dec.idwt"
+
+    def test_duplicate_child_rejected(self, sim):
+        top = Module(sim, "top")
+        Module(sim, "a", parent=top)
+        with pytest.raises(ValueError, match="duplicate"):
+            Module(sim, "a", parent=top)
+
+    def test_invalid_names_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Module(sim, "")
+        with pytest.raises(ValueError):
+            Module(sim, "a.b")
+
+    def test_find_descendant(self, sim):
+        top = Module(sim, "top")
+        child = Module(sim, "sub", parent=top)
+        leaf = Module(sim, "leaf", parent=child)
+        assert top.find("sub.leaf") is leaf
+        with pytest.raises(KeyError):
+            top.find("sub.missing")
+
+    def test_walk_visits_all(self, sim):
+        top = Module(sim, "top")
+        Module(sim, "a", parent=top)
+        b = Module(sim, "b", parent=top)
+        Module(sim, "c", parent=b)
+        assert [m.basename for m in top.walk()] == ["top", "a", "b", "c"]
+
+    def test_add_thread_names_process(self, sim):
+        top = Module(sim, "top")
+
+        def body():
+            yield ns(1)
+
+        proc = top.add_thread(body)
+        assert proc.name == "top.body"
+        sim.run()
+        assert proc.finished
+
+
+class TestTrace:
+    def test_manual_record_and_waveform(self, sim):
+        trace = Trace(sim)
+
+        def body():
+            trace.record("x", 1)
+            yield ns(5)
+            trace.record("x", 2)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        assert trace.waveform("x") == [(ns(0), 1), (ns(5), 2)]
+
+    def test_watch_signal(self, sim):
+        sig = Signal(sim, initial=0, name="sig")
+        trace = Trace(sim)
+        trace.watch(sig)
+
+        def driver():
+            sig.write(3)
+            yield ns(2)
+            sig.write(7)
+            yield ns(2)
+
+        sim.spawn(driver(), "d")
+        sim.run()
+        values = [value for _, value in trace.waveform("sig")]
+        assert values == [0, 3, 7]
+
+    def test_value_at(self, sim):
+        trace = Trace(sim)
+
+        def body():
+            trace.record("v", "a")
+            yield ns(10)
+            trace.record("v", "b")
+
+        sim.spawn(body(), "p")
+        sim.run()
+        assert trace.value_at("v", ns(5)) == "a"
+        assert trace.value_at("v", ns(10)) == "b"
+
+    def test_value_at_before_first_record(self, sim):
+        trace = Trace(sim)
+
+        def body():
+            yield ns(10)
+            trace.record("v", 1)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        with pytest.raises(KeyError):
+            trace.value_at("v", ns(1))
+
+    def test_dump_contains_records(self, sim):
+        trace = Trace(sim, name="t")
+        trace.record("probe", 42)
+        text = trace.dump()
+        assert "probe" in text and "42" in text
+
+
+class TestVcdExport:
+    def test_vcd_structure(self, sim):
+        trace = Trace(sim, name="wave")
+
+        def body():
+            trace.record("counter", 1)
+            yield ns(5)
+            trace.record("counter", 2)
+            trace.record("level", 0.5)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        vcd = trace.to_vcd(timescale="1ns")
+        assert "$timescale 1ns $end" in vcd
+        assert "$var real 64" in vcd
+        assert "counter" in vcd and "level" in vcd
+        assert "#0" in vcd and "#5" in vcd
+        assert vcd.count("r1 ") == 1 and vcd.count("r2 ") == 1
+
+    def test_vcd_skips_non_numeric(self, sim):
+        trace = Trace(sim)
+        trace.record("state", "IDLE")
+        trace.record("value", 7)
+        vcd = trace.to_vcd()
+        assert "state" not in vcd
+        assert "value" in vcd
+
+    def test_vcd_timescale_validated(self, sim):
+        with pytest.raises(ValueError):
+            Trace(sim).to_vcd(timescale="2ns")

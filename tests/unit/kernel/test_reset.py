@@ -1,0 +1,156 @@
+"""Resettable processes and the ResetSignal."""
+
+import pytest
+
+from repro.kernel import ProcessState, ResetSignal, Simulator, ns
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestRestart:
+    def test_restart_runs_from_the_top(self, sim):
+        log = []
+
+        def body():
+            log.append(("start", sim.now))
+            while True:
+                yield ns(10)
+                log.append(("tick", sim.now))
+
+        proc = sim.spawn_resettable(body, "p")
+
+        def controller():
+            yield ns(25)
+            proc.restart()
+            yield ns(15)
+            proc.kill()
+
+        sim.spawn(controller(), "ctl")
+        sim.run()
+        starts = [when for tag, when in log if tag == "start"]
+        assert starts == [ns(0), ns(25)]
+        assert proc.restarts == 1
+
+    def test_restart_clears_pending_waits(self, sim):
+        never = sim.event("never")
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield never  # would park forever without the reset
+
+        proc = sim.spawn_resettable(body, "p")
+
+        def controller():
+            yield ns(5)
+            proc.restart()
+            yield ns(5)
+            proc.kill()
+
+        sim.spawn(controller(), "ctl")
+        sim.run()
+        assert log == [ns(0), ns(5)]
+        assert not never._waiting  # unsubscribed cleanly
+
+    def test_plain_process_cannot_restart(self, sim):
+        def body():
+            yield ns(1)
+
+        proc = sim.spawn(body(), "p")
+        with pytest.raises(RuntimeError, match="resettable"):
+            proc.restart()
+
+    def test_restart_of_finished_process_revives_it(self, sim):
+        runs = []
+
+        def body():
+            runs.append(sim.now)
+            yield ns(1)
+
+        proc = sim.spawn_resettable(body, "p")
+        sim.run()
+        assert proc.finished
+        proc.restart()
+        sim.run()
+        assert len(runs) == 2
+        assert proc.state is ProcessState.FINISHED
+
+
+class TestResetSignal:
+    def test_assertion_restarts_bound_processes(self, sim):
+        reset = ResetSignal(sim, "rst")
+        starts = []
+
+        def body():
+            starts.append(sim.now)
+            while True:
+                yield ns(100)
+
+        proc = sim.spawn_resettable(body, "p")
+        reset.bind(proc)
+
+        def controller():
+            yield ns(30)
+            reset.write(True)
+            yield ns(10)
+            reset.write(False)
+            yield ns(10)
+            proc.kill()
+
+        sim.spawn(controller(), "ctl")
+        sim.run()
+        assert starts == [ns(0), ns(30)]
+
+    def test_deassertion_does_not_restart(self, sim):
+        reset = ResetSignal(sim)
+        starts = []
+
+        def body():
+            starts.append(sim.now)
+            while True:
+                yield ns(100)
+
+        proc = sim.spawn_resettable(body, "p")
+        reset.bind(proc)
+
+        def controller():
+            yield ns(10)
+            reset.write(True)
+            yield ns(10)
+            reset.write(False)  # falling edge: no restart
+            yield ns(10)
+            proc.kill()
+
+        sim.spawn(controller(), "ctl")
+        sim.run()
+        assert len(starts) == 2
+
+    def test_multiple_processes_one_line(self, sim):
+        reset = ResetSignal(sim)
+        counts = {"a": 0, "b": 0}
+
+        def make(name):
+            def body():
+                counts[name] += 1
+                while True:
+                    yield ns(50)
+
+            return body
+
+        procs = [sim.spawn_resettable(make(name), name) for name in ("a", "b")]
+        for proc in procs:
+            reset.bind(proc)
+
+        def controller():
+            yield ns(5)
+            reset.write(True)
+            yield ns(5)
+            for proc in procs:
+                proc.kill()
+
+        sim.spawn(controller(), "ctl")
+        sim.run()
+        assert counts == {"a": 2, "b": 2}

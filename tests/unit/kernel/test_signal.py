@@ -1,0 +1,128 @@
+"""Signal evaluate/update semantics and the clock."""
+
+import pytest
+
+from repro.kernel import Clock, Signal, Simulator, ns
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSignal:
+    def test_write_not_visible_until_update(self, sim):
+        sig = Signal(sim, initial=0, name="s")
+        seen = []
+
+        def writer():
+            sig.write(7)
+            seen.append(("same-phase", sig.read()))
+            yield sim.wait_fs(0)
+            seen.append(("next-delta", sig.read()))
+
+        sim.spawn(writer(), "w")
+        sim.run()
+        assert seen == [("same-phase", 0), ("next-delta", 7)]
+
+    def test_changed_event_fires_on_change(self, sim):
+        sig = Signal(sim, initial=0, name="s")
+        changes = []
+
+        def watcher():
+            while True:
+                yield sig.changed
+                changes.append(sig.read())
+
+        def driver():
+            sig.write(1)
+            yield ns(1)
+            sig.write(2)
+            yield ns(1)
+
+        sim.spawn(watcher(), "watch")
+        sim.spawn(driver(), "drive")
+        sim.run()
+        assert changes == [1, 2]
+
+    def test_no_event_when_value_unchanged(self, sim):
+        sig = Signal(sim, initial=5, name="s")
+        changes = []
+
+        def watcher():
+            yield sig.changed
+            changes.append(sig.read())
+
+        def driver():
+            sig.write(5)  # same value: no change event
+            yield ns(1)
+
+        sim.spawn(watcher(), "watch")
+        sim.spawn(driver(), "drive")
+        sim.run()
+        assert changes == []
+
+    def test_last_write_in_delta_wins(self, sim):
+        sig = Signal(sim, initial=0, name="s")
+
+        def driver():
+            sig.write(1)
+            sig.write(2)
+            yield ns(1)
+
+        sim.spawn(driver(), "d")
+        sim.run()
+        assert sig.read() == 2
+
+
+class TestClock:
+    def test_period_validation(self, sim):
+        with pytest.raises(ValueError):
+            Clock(sim, sim.wait_fs(0))
+
+    def test_frequency(self, sim):
+        clock = Clock(sim, ns(10))
+        assert clock.frequency_hz == pytest.approx(100e6)
+
+    def test_cycles_duration(self, sim):
+        clock = Clock(sim, ns(10))
+        assert clock.cycles(3) == ns(30)
+        assert clock.cycles(0.5) == ns(5)
+
+    def test_cycles_between(self, sim):
+        clock = Clock(sim, ns(10))
+        assert clock.cycles_between(ns(5), ns(45)) == 4
+
+    def test_edges_when_started(self, sim):
+        clock = Clock(sim, ns(10), "clk")
+        edges = []
+
+        def counter():
+            for _ in range(3):
+                yield clock.posedge
+                edges.append(("pos", sim.now))
+
+        sim.spawn(counter(), "count")
+        clock.start()
+        sim.run(until=ns(100))
+        assert edges == [("pos", ns(0)), ("pos", ns(10)), ("pos", ns(20))]
+
+    def test_negedge_between_posedges(self, sim):
+        clock = Clock(sim, ns(10), "clk")
+        marks = []
+
+        def watcher():
+            yield clock.negedge
+            marks.append(sim.now)
+
+        sim.spawn(watcher(), "w")
+        clock.start()
+        sim.run(until=ns(30))
+        assert marks == [ns(5)]
+
+    def test_start_idempotent(self, sim):
+        clock = Clock(sim, ns(10))
+        clock.start()
+        clock.start()
+        drivers = [p for p in sim.processes if "driver" in p.name]
+        assert len(drivers) == 1

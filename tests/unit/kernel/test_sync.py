@@ -1,0 +1,130 @@
+"""Mutex, semaphore, barrier."""
+
+import pytest
+
+from repro.kernel import Barrier, Mutex, Semaphore, Simulator, ns
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestMutex:
+    def test_exclusive_and_fifo_handoff(self, sim):
+        mutex = Mutex(sim)
+        order = []
+
+        def worker(name, hold):
+            token = yield from mutex.lock()
+            order.append((name, sim.now))
+            yield hold
+            mutex.unlock(token)
+
+        sim.spawn(worker("a", ns(10)), "a")
+        sim.spawn(worker("b", ns(10)), "b")
+        sim.spawn(worker("c", ns(10)), "c")
+        sim.run()
+        assert [name for name, _ in order] == ["a", "b", "c"]
+        assert [when for _, when in order] == [ns(0), ns(10), ns(20)]
+
+    def test_no_barging_past_waiters(self, sim):
+        mutex = Mutex(sim)
+        order = []
+
+        def early(name):
+            token = yield from mutex.lock()
+            order.append(name)
+            yield ns(10)
+            mutex.unlock(token)
+
+        def late():
+            yield ns(5)
+            assert not mutex.try_lock()  # waiter queue guards the lock
+            token = yield from mutex.lock()
+            order.append("late")
+            mutex.unlock(token)
+
+        sim.spawn(early("first"), "f")
+        sim.spawn(early("second"), "s")
+        sim.spawn(late(), "l")
+        sim.run()
+        assert order == ["first", "second", "late"]
+
+    def test_unlock_unlocked_rejected(self, sim):
+        mutex = Mutex(sim)
+        with pytest.raises(RuntimeError, match="unlocked"):
+            mutex.unlock()
+
+    def test_unlock_by_non_owner_rejected(self, sim):
+        mutex = Mutex(sim)
+        assert mutex.try_lock(owner="me")
+        with pytest.raises(RuntimeError, match="non-owner"):
+            mutex.unlock(owner="you")
+
+
+class TestSemaphore:
+    def test_counts(self, sim):
+        sem = Semaphore(sim, initial=2)
+        assert sem.try_acquire()
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        sem.release()
+        assert sem.count == 1
+
+    def test_blocking_acquire(self, sim):
+        sem = Semaphore(sim, initial=1)
+        order = []
+
+        def worker(name):
+            yield from sem.acquire()
+            order.append((name, sim.now))
+            yield ns(10)
+            sem.release()
+
+        sim.spawn(worker("a"), "a")
+        sim.spawn(worker("b"), "b")
+        sim.run()
+        assert order == [("a", ns(0)), ("b", ns(10))]
+
+    def test_negative_initial_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, initial=-1)
+
+
+class TestBarrier:
+    def test_all_released_together(self, sim):
+        barrier = Barrier(sim, parties=3)
+        releases = []
+
+        def party(delay):
+            yield delay
+            yield from barrier.wait()
+            releases.append(sim.now)
+
+        sim.spawn(party(ns(1)), "p1")
+        sim.spawn(party(ns(5)), "p2")
+        sim.spawn(party(ns(9)), "p3")
+        sim.run()
+        assert releases == [ns(9), ns(9), ns(9)]
+
+    def test_reusable_for_second_round(self, sim):
+        barrier = Barrier(sim, parties=2)
+        rounds = []
+
+        def party(name):
+            yield from barrier.wait()
+            rounds.append((name, 1, sim.now))
+            yield ns(3)
+            yield from barrier.wait()
+            rounds.append((name, 2, sim.now))
+
+        sim.spawn(party("a"), "a")
+        sim.spawn(party("b"), "b")
+        sim.run()
+        assert all(when == ns(0) for _, round_no, when in rounds if round_no == 1)
+        assert all(when == ns(3) for _, round_no, when in rounds if round_no == 2)
+
+    def test_party_count_validation(self, sim):
+        with pytest.raises(ValueError):
+            Barrier(sim, parties=0)

@@ -1,0 +1,58 @@
+"""Result table rendering."""
+
+import pytest
+
+from repro.reporting import Table
+
+
+class TestTable:
+    def test_basic_rendering(self):
+        table = Table(["name", "value"], title="Demo")
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", 2)
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.50" in text  # floats get two decimals
+
+    def test_column_alignment(self):
+        table = Table(["a", "long_header"])
+        table.add_row("xxxxxxxxxx", "y")
+        lines = table.render().splitlines()
+        header, rule, row = lines[0], lines[1], lines[2]
+        assert len(header) == len(row)
+        assert set(rule) <= {"-", "+"}
+
+    def test_cell_count_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_separator_between_sections(self):
+        table = Table(["v"])
+        table.add_row("app")
+        table.add_separator()
+        table.add_row("vta")
+        text = table.render()
+        body = text.splitlines()[2:]
+        assert any(set(line) <= {"-", "+"} for line in body)
+
+    def test_csv_output(self):
+        table = Table(["a", "b"])
+        table.add_row("x,y", 1)
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x;y" in csv  # commas in cells are escaped
+
+    def test_write_files(self, tmp_path):
+        table = Table(["a"])
+        table.add_row("value")
+        text_path = tmp_path / "out.txt"
+        csv_path = tmp_path / "out.csv"
+        table.write(text_path, csv_path)
+        assert "value" in text_path.read_text()
+        assert "value" in csv_path.read_text()

@@ -1,0 +1,54 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_run_version(self, capsys):
+        assert main(["run", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DecodingReport(2, lossless" in out
+
+    def test_run_lossy(self, capsys):
+        assert main(["run", "2", "--lossy"]) == 0
+        assert "lossy" in capsys.readouterr().out
+
+    def test_run_functional(self, capsys):
+        assert main(["run", "1", "--functional"]) == 0
+        assert "produced an image" in capsys.readouterr().out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--versions", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "SW only" in out
+        assert "HW/SW not parallel" in out
+        assert "6a" not in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "occupied slices" in out
+        assert "est. frequency" in out
+
+    def test_loc(self, capsys):
+        assert main(["loc"]) == 0
+        out = capsys.readouterr().out
+        assert "idwt53 FOSSY VHDL" in out
+        assert "2231" in out  # the paper column is present
+
+    def test_fig1_small(self, capsys):
+        assert main(["fig1", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "arith" in out
+        assert "88.80" in out
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "9z"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,167 @@
+"""Channel models: transfer timing, arbitration, contention, duplex."""
+
+import pytest
+
+from repro.core import StaticPriority
+from repro.kernel import Simulator, ns
+from repro.vta import DdrMemoryController, OpbBus, OsssChannel, P2PChannel
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+CYCLE = ns(10)
+
+
+class TestTransferTime:
+    def test_opb_single_transfer_cost(self, sim):
+        bus = OpbBus(sim, CYCLE, cycles_per_word=3.0, setup_cycles=1)
+        # 1 setup + 3 x 4 words = 13 cycles
+        assert bus.transfer_time(4) == ns(130)
+
+    def test_opb_burst_amortises_when_enabled(self, sim):
+        bus = OpbBus(sim, CYCLE, cycles_per_word=3.0, setup_cycles=1,
+                     burst_cycles_per_word=1.0)
+        bus.burst_threshold_words = 8
+        assert bus.transfer_time(16) == ns((1 + 16) * 10)
+
+    def test_opb_bursts_disabled_by_default(self, sim):
+        bus = OpbBus(sim, CYCLE, cycles_per_word=3.0, setup_cycles=1)
+        assert bus.transfer_time(100) == ns((1 + 300) * 10)
+
+    def test_p2p_streams_one_word_per_cycle(self, sim):
+        link = P2PChannel(sim, CYCLE)
+        assert link.transfer_time(64) == ns((1 + 64) * 10)
+
+    def test_ddr_activation_plus_stream(self, sim):
+        ddr = DdrMemoryController(sim, CYCLE, activation_cycles=20)
+        assert ddr.transfer_time(32) == ns((20 + 32) * 10)
+
+
+class TestOccupancyAndContention:
+    def test_two_masters_serialise_on_bus(self, sim):
+        bus = OpbBus(sim, CYCLE, arbitration_cycles=0, setup_cycles=0,
+                     cycles_per_word=1.0)
+        finish = {}
+
+        def master(name):
+            handle = bus.connect_master(name)
+
+            def body():
+                yield from bus.transport(handle, 10)
+                finish[name] = sim.now
+
+            return body
+
+        sim.spawn(master("m0")(), "m0")
+        sim.spawn(master("m1")(), "m1")
+        sim.run()
+        assert sorted(finish.values()) == [ns(100), ns(200)]
+
+    def test_priority_master_granted_first(self, sim):
+        bus = OpbBus(sim, CYCLE, policy=StaticPriority(), arbitration_cycles=0,
+                     setup_cycles=0, cycles_per_word=1.0)
+        finish = {}
+        low = bus.connect_master("low", priority=5)
+        high = bus.connect_master("high", priority=0)
+
+        def body(name, handle):
+            yield from bus.transport(handle, 10)
+            finish[name] = sim.now
+
+        sim.spawn(body("low", low), "low")
+        sim.spawn(body("high", high), "high")
+        sim.run()
+        assert finish["high"] < finish["low"]
+
+    def test_arbitration_cycles_charged_per_transaction(self, sim):
+        bus = OpbBus(sim, CYCLE, arbitration_cycles=2, setup_cycles=0,
+                     cycles_per_word=1.0)
+        handle = bus.connect_master("m")
+        finish = []
+
+        def body():
+            yield from bus.transport(handle, 5)
+            finish.append(sim.now)
+
+        sim.spawn(body(), "m")
+        sim.run()
+        assert finish == [ns((2 + 5) * 10)]
+
+    def test_full_duplex_transfers_overlap(self, sim):
+        link = P2PChannel(sim, CYCLE, setup_cycles=0)
+        finish = {}
+        handle = link.connect_master("end")
+
+        def direction(name):
+            def body():
+                yield from link.transport(handle, 100)
+                finish[name] = sim.now
+
+            return body
+
+        sim.spawn(direction("tx")(), "tx")
+        sim.spawn(direction("rx")(), "rx")
+        sim.run()
+        # Both directions complete simultaneously: no mutual exclusion.
+        assert finish["tx"] == finish["rx"] == ns(1000)
+
+    def test_p2p_rejects_second_master(self, sim):
+        link = P2PChannel(sim, CYCLE)
+        link.connect_master("a")
+        with pytest.raises(RuntimeError, match="at most 1"):
+            link.connect_master("b")
+
+
+class TestStatistics:
+    def test_words_and_transactions_counted(self, sim):
+        bus = OpbBus(sim, CYCLE)
+        handle = bus.connect_master("m")
+
+        def body():
+            yield from bus.transport(handle, 8)
+            yield from bus.transport(handle, 4)
+
+        sim.spawn(body(), "m")
+        sim.run()
+        assert bus.stats.transactions == 2
+        assert bus.stats.words == 12
+
+    def test_wait_time_recorded_under_contention(self, sim):
+        bus = OpbBus(sim, CYCLE, arbitration_cycles=0, setup_cycles=0,
+                     cycles_per_word=1.0)
+        handles = [bus.connect_master(f"m{i}") for i in range(2)]
+
+        def body(handle):
+            yield from bus.transport(handle, 10)
+
+        for index, handle in enumerate(handles):
+            sim.spawn(body(handle), f"m{index}")
+        sim.run()
+        assert bus.stats.wait_fs == ns(100).femtoseconds
+
+    def test_utilisation(self, sim):
+        bus = OpbBus(sim, CYCLE, arbitration_cycles=0, setup_cycles=0,
+                     cycles_per_word=1.0)
+        handle = bus.connect_master("m")
+
+        def body():
+            yield from bus.transport(handle, 10)
+            yield ns(100)
+
+        sim.spawn(body(), "m")
+        sim.run()
+        assert bus.utilisation(sim.now) == pytest.approx(0.5)
+
+    def test_negative_word_count_rejected(self, sim):
+        bus = OpbBus(sim, CYCLE)
+        handle = bus.connect_master("m")
+
+        def body():
+            yield from bus.transport(handle, -1)
+
+        sim.spawn(body(), "m")
+        with pytest.raises(Exception, match="non-negative"):
+            sim.run()
