@@ -7,6 +7,21 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``-marked benchmarks unless selected with ``-m slow``.
+
+    The wall-clock decode benchmark takes minutes; tier-1 runs and plain
+    ``pytest benchmarks`` stay quick by default.
+    """
+    markexpr = config.getoption("-m", default="") or ""
+    if "slow" in markexpr:
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark: select with -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,129 @@
+"""Wall-clock benchmark of the entropy-decode hot path (16-tile workload).
+
+The paper's bottleneck stage, measured for real: the paper workload
+(512x512 RGB in 128x128 tiles, Table 1's "16 tiles with 3 components")
+is decoded three ways —
+
+* ``reference-sequential`` — the readable ``t1``/``mq`` specification
+  kernel, one block after another (the seed decode path);
+* ``fast-sequential`` — the optimised ``t1_fast`` kernel, still one
+  process;
+* ``parallel-4`` — the optimised kernel on a 4-worker process pool.
+
+All three must produce byte-identical images and identical op counts.
+The timings and speedups are persisted to ``BENCH_decode.json`` at the
+repository root as the performance trajectory anchor for future PRs.
+
+Run with ``python -m pytest benchmarks/test_wallclock_decode.py -m slow``;
+it is skipped by default because the three decodes take minutes.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.jpeg2000 import (
+    CodingParameters,
+    DecodeOptions,
+    Jpeg2000Decoder,
+    KERNEL_REFERENCE,
+    encode_image,
+    shutdown_pool,
+    synthetic_image,
+)
+from repro.reporting import DecodeBench, Table, time_call
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_decode.json"
+
+#: Paper workload geometry (Table 1): 512x512 RGB in 128x128 tiles.
+SIZE = 512
+TILE = 128
+
+#: Seed decoder wall clock on this workload, measured at commit 4d1e732
+#: (before the fast kernel / parallel path existed).  Fixed trajectory
+#: anchor — do not update when the code gets faster.
+SEED_SECONDS = {"lossless": 17.906, "lossy": 15.487}
+
+#: The decode schedules under comparison.
+MODES = {
+    "reference-sequential": DecodeOptions(kernel=KERNEL_REFERENCE),
+    "fast-sequential": DecodeOptions(),
+    "parallel-4": DecodeOptions(workers=4, chunk_size=8),
+}
+
+
+def _codestream(lossless: bool) -> bytes:
+    image = synthetic_image(SIZE, SIZE, 3, seed=2008)
+    params = CodingParameters(
+        width=SIZE,
+        height=SIZE,
+        num_components=3,
+        tile_width=TILE,
+        tile_height=TILE,
+        num_levels=3,
+        lossless=lossless,
+        base_step=1 / 8,
+    )
+    return encode_image(image, params)
+
+
+@pytest.mark.slow
+def test_wallclock_16_tile_decode(emit):
+    bench = DecodeBench(
+        workload={
+            "image": f"{SIZE}x{SIZE} RGB synthetic (seed 2008)",
+            "tiles": (SIZE // TILE) ** 2,
+            "tile_size": TILE,
+            "num_levels": 3,
+        },
+        baseline="reference-sequential",
+        seed_baseline_seconds=SEED_SECONDS,
+    )
+    table = Table(
+        ["mode", "schedule", "seconds", "speedup vs reference", "speedup vs seed"],
+        title="Entropy-decode wall clock - 16-tile workload",
+    )
+    for mode_name, lossless in (("lossless", True), ("lossy", False)):
+        codestream = _codestream(lossless)
+        images = {}
+        ops = {}
+        for schedule, options in MODES.items():
+            decoder = Jpeg2000Decoder(codestream, options=options)
+            seconds, image = time_call(decoder.decode)
+            bench.record(mode_name, schedule, seconds)
+            images[schedule] = image
+            ops[schedule] = decoder.ops.counts
+        # Parallel output must be byte-identical to sequential, and the
+        # modelled op counts must not depend on kernel or scheduling.
+        reference_image = images["reference-sequential"]
+        for schedule, image in images.items():
+            assert len(image.components) == len(reference_image.components)
+            for ours, theirs in zip(image.components, reference_image.components):
+                assert ours.dtype == theirs.dtype
+                assert np.array_equal(ours, theirs), f"{mode_name}/{schedule} differs"
+            assert ops[schedule] == ops["reference-sequential"]
+        timings = bench.modes[mode_name]
+        speedups = bench.speedups(mode_name)
+        for schedule in MODES:
+            table.add_row(
+                mode_name,
+                schedule,
+                round(timings[schedule], 3),
+                speedups.get(schedule, 1.0),
+                round(SEED_SECONDS[mode_name] / timings[schedule], 2),
+            )
+        table.add_separator()
+    emit(table, "wallclock_decode")
+    payload = bench.write(BENCH_FILE, byte_identical=True)
+    shutdown_pool()
+
+    # Acceptance gates of the perf PR that introduced this benchmark:
+    # the optimised kernel alone buys >= 1.3x, the parallel path >= 2.0x
+    # against the seed sequential decode.
+    for mode_name in ("lossless", "lossy"):
+        entry = payload["modes"][mode_name]
+        assert entry["speedup_vs_seed"]["fast-sequential"] >= 1.3
+        assert entry["speedup_vs_seed"]["parallel-4"] >= 2.0
+    assert BENCH_FILE.exists()

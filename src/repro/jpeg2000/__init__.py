@@ -16,6 +16,13 @@ from .codestream import (
 )
 from .decoder import DecodingError, Jpeg2000Decoder, TileStages, decode_codestream
 from .encoder import EncodingError, Jpeg2000Encoder, encode_image
+from .parallel import (
+    KERNEL_FAST,
+    KERNEL_REFERENCE,
+    DecodeOptions,
+    decode_blocks,
+    shutdown_pool,
+)
 from .image import Image, TileGrid, synthetic_image
 from .transcode import TranscodeError, drop_layers
 from .pipeline import (
@@ -32,11 +39,14 @@ __all__ = [
     "ALL_STAGES",
     "CodestreamError",
     "CodingParameters",
+    "DecodeOptions",
     "DecodingError",
     "EncodingError",
     "Image",
     "Jpeg2000Decoder",
     "Jpeg2000Encoder",
+    "KERNEL_FAST",
+    "KERNEL_REFERENCE",
     "STAGE_ARITH",
     "STAGE_DC",
     "STAGE_ICT",
@@ -47,10 +57,12 @@ __all__ = [
     "TilePart",
     "TileStages",
     "TranscodeError",
+    "decode_blocks",
     "decode_codestream",
     "drop_layers",
     "encode_image",
     "parse_codestream",
+    "shutdown_pool",
     "synthetic_image",
     "write_codestream",
 ]

@@ -35,8 +35,8 @@ from .pipeline import (
     STAGE_IQ,
     StageOps,
 )
+from .parallel import DEFAULT_OPTIONS, DecodeOptions, decode_blocks
 from .structure import band_shapes, codeblock_grid
-from .t1 import CodeBlockDecoder
 from .t2 import CodeBlockContribution, PacketBand, consume_sop, decode_packet
 
 
@@ -68,6 +68,8 @@ class TileStages:
     #: Reconstruct only up to resolution R (None = full size): the image
     #: comes out smaller by 2^(levels-R) per axis.
     max_resolution: Optional[int] = None
+    #: Scheduling of the entropy-decode kernel (workers, chunking, kernel).
+    options: DecodeOptions = field(default_factory=lambda: DEFAULT_OPTIONS)
 
     # -- stage 1: arithmetic decoding (Tier-2 + Tier-1) ---------------------------
 
@@ -132,6 +134,25 @@ class TileStages:
                     use_eph=params.use_eph,
                 )
                 packet_sequence += 1
+        # Every code block is an independent decode task; gather them all
+        # (across components and subbands) and let the scheduler in
+        # ``parallel.decode_blocks`` run them — sequentially or on the
+        # worker pool — before scattering results back into band planes.
+        tasks = []
+        for comp_index in range(params.num_components):
+            bands = per_component_bands[comp_index]
+            for shape in shapes:
+                for block in bands[(shape.resolution, shape.orientation)].blocks:
+                    geo = block.geometry
+                    tasks.append((
+                        block.data,
+                        geo.width,
+                        geo.height,
+                        shape.orientation,
+                        block.num_bitplanes,
+                        block.num_passes,
+                    ))
+        results = iter(decode_blocks(tasks, self.options))
         for comp_index in range(params.num_components):
             bands = per_component_bands[comp_index]
             decoded: list[DecodedBand] = []
@@ -140,19 +161,11 @@ class TileStages:
                 plane = np.zeros((shape.height, shape.width), dtype=np.int64)
                 for block in band.blocks:
                     geo = block.geometry
-                    coder = CodeBlockDecoder(
-                        block.data,
-                        geo.width,
-                        geo.height,
-                        shape.orientation,
-                        block.num_bitplanes,
-                        block.num_passes,
-                    )
-                    values = coder.decode()
-                    self.ops.add(STAGE_ARITH, coder.ops)
+                    values, block_ops = next(results)
+                    self.ops.add(STAGE_ARITH, block_ops)
                     plane[
                         geo.y0 : geo.y0 + geo.height, geo.x0 : geo.x0 + geo.width
-                    ] = np.asarray(values, dtype=np.int64).reshape(geo.height, geo.width)
+                    ] = values.reshape(geo.height, geo.width)
                 decoded.append(DecodedBand(shape.resolution, shape.orientation, plane))
             components.append(decoded)
         return components
@@ -286,10 +299,12 @@ class Jpeg2000Decoder:
         data: bytes,
         max_layers: Optional[int] = None,
         max_resolution: Optional[int] = None,
+        options: Optional[DecodeOptions] = None,
     ):
         self.codestream: Codestream = parse_codestream(data)
         self.max_layers = max_layers
         self.max_resolution = max_resolution
+        self.options = options if options is not None else DEFAULT_OPTIONS
         if max_resolution is not None and max_resolution < 0:
             raise ValueError("max_resolution must be non-negative")
         self.ops = StageOps()
@@ -315,6 +330,7 @@ class Jpeg2000Decoder:
             data=part.data,
             max_layers=self.max_layers,
             max_resolution=self.max_resolution,
+            options=self.options,
         )
 
     def decode(self) -> Image:
@@ -368,6 +384,6 @@ class Jpeg2000Decoder:
         return Image(components=components, bit_depth=params.bit_depth)
 
 
-def decode_codestream(data: bytes) -> Image:
+def decode_codestream(data: bytes, options: Optional[DecodeOptions] = None) -> Image:
     """Convenience one-shot decode."""
-    return Jpeg2000Decoder(data).decode()
+    return Jpeg2000Decoder(data, options=options).decode()

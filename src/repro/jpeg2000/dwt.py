@@ -18,6 +18,7 @@ blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -51,7 +52,8 @@ class DwtOpCounts:
 
 
 def _reflect(index: int, length: int) -> int:
-    """Whole-sample symmetric index reflection into [0, length)."""
+    """Whole-sample symmetric index reflection into [0, length) (the spec
+    form; the vectorised transforms use :func:`_ext_indices` instead)."""
     if length == 1:
         return 0
     period = 2 * (length - 1)
@@ -61,37 +63,48 @@ def _reflect(index: int, length: int) -> int:
     return index if index < length else period - index
 
 
+@lru_cache(maxsize=512)
+def _ext_indices(offset: int, count: int, source_length: int) -> np.ndarray:
+    """Memoised symmetric-extension gather indices.
+
+    ``arange(count) + offset`` clipped into ``[0, source_length)`` — the
+    one-step boundary reflection every lifting step needs.  Each subband
+    shape recurs for every row/column/tile of a decode, so the arrays are
+    cached and shared.
+    """
+    indices = np.arange(offset, offset + count)
+    np.clip(indices, 0, source_length - 1, out=indices)
+    indices.setflags(write=False)
+    return indices
+
+
 # -- 1D transforms -------------------------------------------------------------
 #
 # The deinterleaved convention follows the standard: for a signal of length
 # n, the low band holds ceil(n/2) samples (even positions), the high band
 # floor(n/2) samples (odd positions).
+#
+# All four transforms operate along axis 0 and accept arrays of any rank,
+# so one call transforms every column of a tile plane at once — this is
+# what removes the per-row/per-column Python loops from the 2D transforms.
 
 
 def fdwt53_1d(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Forward 5/3 on one line; returns (low, high) integer bands."""
+    """Forward 5/3 along axis 0; returns (low, high) integer bands."""
     x = np.asarray(signal, dtype=np.int64)
     n = x.shape[0]
     if n == 1:
-        return x.copy(), np.zeros(0, dtype=np.int64)
-    even = x[0::2].copy()
-    odd = x[1::2].copy()
+        return x.copy(), np.zeros((0,) + x.shape[1:], dtype=np.int64)
+    even = x[0::2]
+    odd = x[1::2]
+    n_even = even.shape[0]
     n_odd = odd.shape[0]
     # Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
-    right = even[1:] if even.shape[0] > n_odd else even[1:]
-    nbr_right = np.empty_like(odd)
-    nbr_right[: even.shape[0] - 1] = even[1:]
-    if n_odd > even.shape[0] - 1:  # even length: last odd reflects back
-        nbr_right[-1] = even[-1]
+    nbr_right = even.take(_ext_indices(1, n_odd, n_even), axis=0)
     high = odd - ((even[:n_odd] + nbr_right) >> 1)
     # Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
-    d_left = np.empty_like(even)
-    d_right = np.empty_like(even)
-    d_left[0] = high[0]
-    d_left[1:] = high[: even.shape[0] - 1]
-    d_right[: n_odd] = high
-    if even.shape[0] > n_odd:  # odd length: last even reflects forward
-        d_right[-1] = high[-1]
+    d_left = high.take(_ext_indices(-1, n_even, n_odd), axis=0)
+    d_right = high.take(_ext_indices(0, n_even, n_odd), axis=0)
     low = even + ((d_left + d_right + 2) >> 2)
     return low, high
 
@@ -105,20 +118,12 @@ def idwt53_1d(low: np.ndarray, high: np.ndarray) -> np.ndarray:
         return low.copy()
     n_even = low.shape[0]
     n_odd = high.shape[0]
-    d_left = np.empty_like(low)
-    d_right = np.empty_like(low)
-    d_left[0] = high[0]
-    d_left[1:] = high[: n_even - 1]
-    d_right[:n_odd] = high
-    if n_even > n_odd:
-        d_right[-1] = high[-1]
+    d_left = high.take(_ext_indices(-1, n_even, n_odd), axis=0)
+    d_right = high.take(_ext_indices(0, n_even, n_odd), axis=0)
     even = low - ((d_left + d_right + 2) >> 2)
-    nbr_right = np.empty_like(high)
-    nbr_right[: n_even - 1] = even[1:]
-    if n_odd > n_even - 1:
-        nbr_right[-1] = even[-1]
+    nbr_right = even.take(_ext_indices(1, n_odd, n_even), axis=0)
     odd = high + ((even[:n_odd] + nbr_right) >> 1)
-    out = np.empty(n, dtype=np.int64)
+    out = np.empty((n,) + low.shape[1:], dtype=np.int64)
     out[0::2] = even
     out[1::2] = odd
     return out
@@ -135,33 +140,24 @@ def _lift(band_a: np.ndarray, band_b: np.ndarray, coefficient: float, into_b: bo
         n = band_b.shape[0]
         if n == 0:
             return
-        left = band_a[:n]
-        right = np.empty_like(left)
-        right[: band_a.shape[0] - 1] = band_a[1:]
-        if n > band_a.shape[0] - 1:
-            right[-1] = band_a[-1]
-        band_b += coefficient * (left + right)
+        right = band_a.take(_ext_indices(1, n, band_a.shape[0]), axis=0)
+        band_b += coefficient * (band_a[:n] + right)
     else:
         # even[i] += c * (odd[i-1] + odd[i]), both edges reflect
         n = band_a.shape[0]
         if band_b.shape[0] == 0:
             return
-        left = np.empty(n, dtype=band_b.dtype)
-        right = np.empty(n, dtype=band_b.dtype)
-        left[0] = band_b[0]
-        left[1:] = band_b[: n - 1]
-        right[: band_b.shape[0]] = band_b
-        if n > band_b.shape[0]:
-            right[-1] = band_b[-1]
+        left = band_b.take(_ext_indices(-1, n, band_b.shape[0]), axis=0)
+        right = band_b.take(_ext_indices(0, n, band_b.shape[0]), axis=0)
         band_a += coefficient * (left + right)
 
 
 def fdwt97_1d(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Forward 9/7 on one line; returns (low, high) float bands."""
+    """Forward 9/7 along axis 0; returns (low, high) float bands."""
     x = np.asarray(signal, dtype=np.float64)
     n = x.shape[0]
     if n == 1:
-        return x.copy(), np.zeros(0, dtype=np.float64)
+        return x.copy(), np.zeros((0,) + x.shape[1:], dtype=np.float64)
     even = x[0::2].copy()
     odd = x[1::2].copy()
     _lift(even, odd, ALPHA, into_b=True)
@@ -184,7 +180,7 @@ def idwt97_1d(low: np.ndarray, high: np.ndarray) -> np.ndarray:
     _lift(even, odd, -GAMMA, into_b=True)
     _lift(even, odd, -BETA, into_b=False)
     _lift(even, odd, -ALPHA, into_b=True)
-    out = np.empty(n, dtype=np.float64)
+    out = np.empty((n,) + low.shape[1:], dtype=np.float64)
     out[0::2] = even
     out[1::2] = odd
     return out
@@ -194,45 +190,33 @@ def idwt97_1d(low: np.ndarray, high: np.ndarray) -> np.ndarray:
 
 
 def _forward_2d(tile: np.ndarray, mode: str) -> dict[str, np.ndarray]:
-    """One decomposition level; returns the LL/HL/LH/HH quadrants."""
+    """One decomposition level; returns the LL/HL/LH/HH quadrants.
+
+    Fully vectorised: the row pass transforms every row at once (along
+    axis 0 of the transposed tile), the column pass every column at once.
+    The pass order (rows, then columns) matches :func:`_inverse_2d` in
+    reverse — required for bit-exactness of the nonlinear 5/3 lifting.
+    """
     fdwt = fdwt53_1d if mode == MODE_LOSSLESS else fdwt97_1d
-    dtype = np.int64 if mode == MODE_LOSSLESS else np.float64
-    height, width = tile.shape
-    low_w = (width + 1) // 2
-    low_h = (height + 1) // 2
-    rows_low = np.empty((height, low_w), dtype=dtype)
-    rows_high = np.empty((height, width - low_w), dtype=dtype)
-    for y in range(height):
-        rows_low[y], rows_high[y] = fdwt(tile[y])
-    ll = np.empty((low_h, low_w), dtype=dtype)
-    lh = np.empty((height - low_h, low_w), dtype=dtype)
-    hl = np.empty((low_h, width - low_w), dtype=dtype)
-    hh = np.empty((height - low_h, width - low_w), dtype=dtype)
-    for x in range(low_w):
-        ll[:, x], lh[:, x] = fdwt(rows_low[:, x])
-    for x in range(width - low_w):
-        hl[:, x], hh[:, x] = fdwt(rows_high[:, x])
+    low_t, high_t = fdwt(tile.T)
+    ll, lh = fdwt(np.ascontiguousarray(low_t.T))
+    hl, hh = fdwt(np.ascontiguousarray(high_t.T))
     return {"LL": ll, "HL": hl, "LH": lh, "HH": hh}
 
 
 def _inverse_2d(quads: dict[str, np.ndarray], mode: str,
                 ops: "DwtOpCounts | None" = None) -> np.ndarray:
-    """Invert one decomposition level from its quadrants."""
+    """Invert one decomposition level from its quadrants (vectorised)."""
     idwt = idwt53_1d if mode == MODE_LOSSLESS else idwt97_1d
     ll, hl, lh, hh = quads["LL"], quads["HL"], quads["LH"], quads["HH"]
     low_h, low_w = ll.shape
     height = low_h + lh.shape[0]
     width = low_w + hl.shape[1]
-    dtype = np.int64 if mode == MODE_LOSSLESS else np.float64
-    rows_low = np.empty((height, low_w), dtype=dtype)
-    rows_high = np.empty((height, width - low_w), dtype=dtype)
-    for x in range(low_w):
-        rows_low[:, x] = idwt(ll[:, x], lh[:, x])
-    for x in range(width - low_w):
-        rows_high[:, x] = idwt(hl[:, x], hh[:, x])
-    out = np.empty((height, width), dtype=dtype)
-    for y in range(height):
-        out[y] = idwt(rows_low[y], rows_high[y])
+    rows_low = idwt(ll, lh)
+    rows_high = idwt(hl, hh)
+    out = idwt(
+        np.ascontiguousarray(rows_low.T), np.ascontiguousarray(rows_high.T)
+    ).T
     if ops is not None:
         samples = height * width
         ops.samples += samples

@@ -220,13 +220,22 @@ class MqDecoder:
         self.a = 0x8000
 
     def decode(self, ctx: ContextState) -> int:
-        """DECODE one decision in context *ctx*."""
+        """DECODE one decision in context *ctx*.
+
+        DECODE, MPS-/LPS-EXCHANGE, RENORMD and BYTEIN are flattened into
+        one function with local-variable register state: the per-bit cost
+        of this call dominates the whole decoder (Fig. 1), so the usual
+        flowchart-per-procedure structure is collapsed here.  The
+        flowcharts themselves still read off :meth:`_renorm` /
+        :meth:`_byte_in`, which remain the reference implementation.
+        """
         qe, nmps, nlps, switch = QE_TABLE[ctx.index]
         self.ops += 1
-        self.a -= qe
-        if (self.c >> 16) & 0xFFFF < qe:
+        a = self.a - qe
+        c = self.c
+        if (c >> 16) & 0xFFFF < qe:
             # LPS exchange path
-            if self.a < qe:
+            if a < qe:
                 bit = ctx.mps
                 ctx.index = nmps
             else:
@@ -234,13 +243,15 @@ class MqDecoder:
                 if switch:
                     ctx.mps = 1 - ctx.mps
                 ctx.index = nlps
-            self.a = qe
-            self._renorm()
-            return bit
-        self.c -= qe << 16
-        if self.a & 0x8000 == 0:
+            a = qe
+        else:
+            c -= qe << 16
+            if a & 0x8000:
+                self.a = a
+                self.c = c
+                return ctx.mps
             # MPS exchange path
-            if self.a < qe:
+            if a < qe:
                 bit = 1 - ctx.mps
                 if switch:
                     ctx.mps = 1 - ctx.mps
@@ -248,9 +259,39 @@ class MqDecoder:
             else:
                 bit = ctx.mps
                 ctx.index = nmps
-            self._renorm()
-            return bit
-        return ctx.mps
+        # RENORMD, with BYTEIN inline
+        data = self.data
+        length = len(data)
+        ct = self.ct
+        bp = self.bp
+        ops = self.ops
+        while True:
+            if ct == 0:
+                byte = data[bp] if bp < length else 0xFF
+                if byte == 0xFF:
+                    if (data[bp + 1] if bp + 1 < length else 0xFF) > 0x8F:
+                        c += 0xFF00
+                        ct = 8
+                    else:
+                        bp += 1
+                        c += (data[bp] if bp < length else 0xFF) << 9
+                        ct = 7
+                else:
+                    bp += 1
+                    c += (data[bp] if bp < length else 0xFF) << 8
+                    ct = 8
+            a = (a << 1) & 0xFFFF
+            c = (c << 1) & 0xFFFFFFFF
+            ct -= 1
+            ops += 1
+            if a & 0x8000:
+                break
+        self.a = a
+        self.c = c
+        self.ct = ct
+        self.bp = bp
+        self.ops = ops
+        return bit
 
     def _renorm(self) -> None:
         while True:

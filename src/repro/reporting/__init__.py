@@ -1,5 +1,6 @@
-"""``repro.reporting`` — result-table rendering shared by the benchmarks."""
+"""``repro.reporting`` — result tables and wall-clock benchmark output."""
 
+from .bench import DecodeBench, machine_info, time_call
 from .tables import Table
 
-__all__ = ["Table"]
+__all__ = ["DecodeBench", "Table", "machine_info", "time_call"]

@@ -1,0 +1,111 @@
+"""Unit tests of the parallel entropy-decode scheduling layer."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg2000 import parallel
+from repro.jpeg2000.parallel import (
+    DecodeOptions,
+    KERNEL_FAST,
+    KERNEL_REFERENCE,
+    _chunked,
+    decode_block,
+    decode_blocks,
+    shutdown_pool,
+)
+from repro.jpeg2000.t1 import CodeBlockEncoder
+
+
+def _encode_block(seed: int, width: int = 8, height: int = 8, orientation: str = "HH"):
+    rng = np.random.default_rng(seed)
+    coeffs = rng.integers(-64, 65, size=width * height).tolist()
+    result = CodeBlockEncoder(coeffs, width, height, orientation).encode()
+    return (
+        (result.data, width, height, orientation, result.num_bitplanes, result.num_passes),
+        coeffs,
+    )
+
+
+class TestDecodeOptions:
+    def test_defaults_are_sequential_fast(self):
+        options = DecodeOptions()
+        assert options.workers == 0
+        assert options.kernel == KERNEL_FAST
+        assert not options.parallel
+
+    def test_none_workers_uses_cpu_count(self):
+        options = DecodeOptions(workers=None)
+        assert options.effective_workers >= 1
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            DecodeOptions(workers=-1)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            DecodeOptions(chunk_size=0)
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            DecodeOptions(kernel="simd")
+
+    def test_single_worker_is_not_parallel(self):
+        assert not DecodeOptions(workers=1).parallel
+        assert DecodeOptions(workers=2).parallel
+
+
+class TestChunking:
+    def test_chunks_cover_in_order(self):
+        tasks = list(range(10))
+        chunks = list(_chunked(tasks, 4))
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_single_chunk(self):
+        assert list(_chunked([1, 2], 8)) == [[1, 2]]
+
+
+class TestDecodeBlocks:
+    def test_kernels_agree_per_block(self):
+        task, coeffs = _encode_block(seed=1)
+        fast_values, fast_ops = decode_block(task, KERNEL_FAST)
+        ref_values, ref_ops = decode_block(task, KERNEL_REFERENCE)
+        assert fast_values.tolist() == coeffs
+        assert np.array_equal(fast_values, ref_values)
+        assert fast_ops == ref_ops
+
+    def test_sequential_order_is_preserved(self):
+        tasks, expected = zip(*(_encode_block(seed) for seed in range(6)))
+        results = decode_blocks(list(tasks), DecodeOptions())
+        assert len(results) == 6
+        for (values, ops), coeffs in zip(results, expected):
+            assert values.tolist() == coeffs
+            assert ops > 0
+
+    def test_pool_matches_sequential(self):
+        tasks, _ = zip(*(_encode_block(seed) for seed in range(9)))
+        sequential = decode_blocks(list(tasks), DecodeOptions())
+        pooled = decode_blocks(
+            list(tasks), DecodeOptions(workers=2, chunk_size=2)
+        )
+        assert len(pooled) == len(sequential)
+        for (seq_values, seq_ops), (par_values, par_ops) in zip(sequential, pooled):
+            assert np.array_equal(seq_values, par_values)
+            assert seq_ops == par_ops
+        shutdown_pool()
+
+    def test_empty_task_list(self):
+        assert decode_blocks([], DecodeOptions(workers=2)) == []
+
+    def test_pool_failure_falls_back_to_sequential(self, monkeypatch):
+        tasks, expected = zip(*(_encode_block(seed) for seed in range(3)))
+        monkeypatch.setattr(parallel, "_get_pool", lambda workers: None)
+        results = decode_blocks(list(tasks), DecodeOptions(workers=4))
+        for (values, _), coeffs in zip(results, expected):
+            assert values.tolist() == coeffs
+
+    def test_pool_is_cached_per_worker_count(self):
+        first = parallel._get_pool(2)
+        second = parallel._get_pool(2)
+        assert first is second
+        shutdown_pool()
+        assert parallel._pool is None

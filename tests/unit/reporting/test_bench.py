@@ -1,0 +1,65 @@
+"""Unit tests for the wall-clock benchmark harness."""
+
+import json
+
+import pytest
+
+from repro.reporting.bench import SCHEMA_VERSION, DecodeBench, machine_info, time_call
+
+
+def test_machine_info_has_interpretability_keys():
+    info = machine_info()
+    assert set(info) == {"python", "implementation", "platform", "cpu_count"}
+    assert info["cpu_count"] >= 1
+
+
+def test_time_call_returns_first_result_and_positive_time():
+    calls = []
+
+    def fn():
+        calls.append(len(calls))
+        return len(calls)
+
+    seconds, result = time_call(fn, repeats=3)
+    assert calls == [0, 1, 2]
+    assert result == 1  # result of the first run, not the fastest
+    assert seconds >= 0
+
+
+def test_time_call_rejects_zero_repeats():
+    with pytest.raises(ValueError):
+        time_call(lambda: None, repeats=0)
+
+
+def test_speedups_relative_to_baseline():
+    bench = DecodeBench({"tiles": 16}, baseline="reference")
+    bench.record("lossless", "reference", 10.0)
+    bench.record("lossless", "fast", 5.0)
+    bench.record("lossless", "parallel", 4.0)
+    assert bench.speedups("lossless") == {"fast": 2.0, "parallel": 2.5}
+    assert bench.speedups("missing-mode") == {}
+
+
+def test_payload_includes_seed_anchor():
+    bench = DecodeBench(
+        {"tiles": 16},
+        baseline="reference",
+        seed_baseline_seconds={"lossless": 20.0},
+    )
+    bench.record("lossless", "reference", 10.0)
+    bench.record("lossless", "fast", 5.0)
+    payload = bench.payload(byte_identical=True)
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["byte_identical"] is True
+    mode = payload["modes"]["lossless"]
+    assert mode["seed_sequential_seconds"] == 20.0
+    assert mode["speedup_vs_seed"] == {"reference": 2.0, "fast": 4.0}
+    assert mode["speedup_vs_reference"] == {"fast": 2.0}
+
+
+def test_write_round_trips_json(tmp_path):
+    bench = DecodeBench({"tiles": 4}, baseline="reference")
+    bench.record("lossy", "reference", 2.0)
+    out = tmp_path / "BENCH_decode.json"
+    payload = bench.write(out)
+    assert json.loads(out.read_text()) == payload
