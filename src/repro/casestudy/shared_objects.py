@@ -48,6 +48,12 @@ class TileStoreBehaviour:
         self.workload = workload
         self.capacity = capacity_tiles
         self.slots: dict[int, _TileSlot] = {}
+        #: Count of stored-but-unclaimed components.  The ``component_ready``
+        #: guard is re-evaluated on every arbitration decision, so it must
+        #: not walk all slots each time; ``put_component`` and
+        #: ``claim_component`` keep the count exact (slots are only deleted
+        #: once every component is done, i.e. claimed).
+        self._unclaimed = 0
         #: VTA knobs — the Application Layer leaves them neutral.
         self.iq_time_scale = 1.0
         self.ram_seconds_per_word = 0.0
@@ -71,11 +77,7 @@ class TileStoreBehaviour:
         return len(self.slots) < self.capacity
 
     def _has_unclaimed(self) -> bool:
-        return any(
-            slot.present[c] and not slot.claimed[c]
-            for slot in self.slots.values()
-            for c in range(self.workload.num_components)
-        )
+        return self._unclaimed > 0
 
     def _slot(self, tile_index: int) -> _TileSlot:
         if tile_index not in self.slots:
@@ -112,6 +114,8 @@ class TileStoreBehaviour:
     def put_component(self, tile_index: int, component: int, payload: WirePayload):
         """Store one entropy-decoded tile component (from the SW task)."""
         slot = self._slot(tile_index)
+        if not slot.present[component]:
+            self._unclaimed += 1
         slot.present[component] = True
         slot.bands[component] = payload.content
         if self.port_setup:
@@ -172,6 +176,7 @@ class TileStoreBehaviour:
             for component in range(self.workload.num_components):
                 if slot.present[component] and not slot.claimed[component]:
                     slot.claimed[component] = True
+                    self._unclaimed -= 1
                     return TileComponentJob(
                         tile_index=tile_index,
                         component=component,

@@ -30,6 +30,10 @@ class ArbitrationPolicy:
     """Base class: subclasses implement :meth:`select`."""
 
     name = "base"
+    #: True when :meth:`select` keeps no internal state between calls.
+    #: Stateless policies may be bypassed for trivially-decided grants
+    #: (a single eligible request); stateful ones must see every grant.
+    stateless = True
 
     def select(self, eligible: Sequence[Request], last_client: Optional[int]) -> Request:
         raise NotImplementedError
@@ -83,6 +87,7 @@ class LeastRecentlyServed(ArbitrationPolicy):
     """Fair policy favouring the client served longest ago."""
 
     name = "least_recently_served"
+    stateless = False
 
     def __init__(self):
         self._last_service: dict[int, int] = {}

@@ -77,6 +77,8 @@ class _PendingCall:
         "kwargs",
         "granted",
         "is_granted",
+        "client_id",
+        "priority",
         "arrival_fs",
         "seq",
     )
@@ -88,7 +90,10 @@ class _PendingCall:
         self.kwargs = kwargs
         self.granted = Event(sim, f"grant.{client.name}.{method}")
         self.is_granted = False
-        self.arrival_fs = sim.now.femtoseconds
+        # The arbitration-request interface, so policies rank calls directly.
+        self.client_id = client.client_id
+        self.priority = client.priority
+        self.arrival_fs = sim._now_fs
         self.seq = seq
 
 
@@ -122,7 +127,19 @@ class SharedObject(Module):
         self._seq = itertools.count()
         # Statistics used by the case study's exploration reports.
         self.stats = SharedObjectStats()
-        sim.spawn(self._arbiter_loop(), name=f"{self.name}.arbiter")
+        #: Fast mode replaces the always-on arbiter process with grant
+        #: decisions scheduled as end-of-delta callbacks (one per delta).
+        self._fast = bool(getattr(sim, "fast", False))
+        self._decision_pending = False
+        if self._fast:
+            # Request/finish schedule decisions directly, but guard state
+            # can also change outside the call protocol (a behaviour or
+            # test poking ``_state_changed``); a parked watcher routes
+            # those external notifications into the decision scheme.  It
+            # never wakes otherwise, so it costs nothing in steady state.
+            sim.spawn(self._external_wakeup_loop(), name=f"{self.name}.arbiter")
+        else:
+            sim.spawn(self._arbiter_loop(), name=f"{self.name}.arbiter")
 
     # -- construction -----------------------------------------------------------
 
@@ -167,7 +184,10 @@ class SharedObject(Module):
         call = _PendingCall(self.sim, client, method, args, kwargs, next(self._seq))
         self._pending.append(call)
         self.stats.requests += 1
-        self._state_changed.notify(delta=True)
+        if self._fast:
+            self._schedule_decision()
+        else:
+            self._state_changed.notify(delta=True)
         return call
 
     def finish_call(self, call: _PendingCall):
@@ -177,7 +197,11 @@ class SharedObject(Module):
         finally:
             self._busy = False
             self._last_client = call.client.client_id
-            self._state_changed.notify(delta=True)
+            if self._fast:
+                if self._pending:
+                    self._schedule_decision()
+            else:
+                self._state_changed.notify(delta=True)
         return result
 
     def invoke(self, client: ClientHandle, method: str, *args, **kwargs):
@@ -193,9 +217,9 @@ class SharedObject(Module):
             + self.per_client_overhead.femtoseconds * self.num_clients
         )
         if overhead_fs:
-            yield SimTime.from_fs(overhead_fs)
+            yield SimTime.intern(overhead_fs)
         fn, spec = self._methods[call.method]
-        started = self.sim.now
+        started_fs = self.sim._now_fs
         outcome = fn(*call.args, **call.kwargs)
         if inspect.isgenerator(outcome):
             result = yield from outcome
@@ -205,7 +229,7 @@ class SharedObject(Module):
             if duration:
                 yield duration
         self.stats.grants += 1
-        self.stats.busy_fs += (self.sim.now - started).femtoseconds + overhead_fs
+        self.stats.busy_fs += self.sim._now_fs - started_fs + overhead_fs
         return result
 
     @staticmethod
@@ -224,6 +248,27 @@ class SharedObject(Module):
             if not granted:
                 yield self._state_changed
 
+    def _external_wakeup_loop(self):
+        while True:
+            yield self._state_changed
+            self._schedule_decision()
+
+    def _schedule_decision(self) -> None:
+        """Fast mode: arbitrate at the end of the current delta cycle.
+
+        All requests registered during this evaluate phase compete in one
+        decision, mirroring what the reference arbiter process sees when a
+        ``_state_changed`` notification wakes it one delta later; the grant
+        reaches the client in the same delta cycle on both paths.
+        """
+        if not self._decision_pending:
+            self._decision_pending = True
+            self.sim._schedule_delta_call(self._decide)
+
+    def _decide(self) -> None:
+        self._decision_pending = False
+        self._try_grant()
+
     def _try_grant(self) -> bool:
         if self._busy or not self._pending:
             return False
@@ -236,18 +281,35 @@ class SharedObject(Module):
         if not eligible:
             self.stats.guard_blocked += 1
             return False
-        requests = {
-            id(call): Request(call.client.client_id, call.client.priority, call.arrival_fs, call.seq)
-            for call in eligible
-        }
-        chosen_request = self.policy.select(list(requests.values()), self._last_client)
-        chosen = next(call for call in eligible if requests[id(call)] is chosen_request)
-        self._pending.remove(chosen)
+        if not self._fast:
+            # Reference path, kept verbatim for differential testing.
+            requests = {
+                id(call): Request(call.client.client_id, call.client.priority, call.arrival_fs, call.seq)
+                for call in eligible
+            }
+            chosen_request = self.policy.select(list(requests.values()), self._last_client)
+            chosen = next(call for call in eligible if requests[id(call)] is chosen_request)
+            self._pending.remove(chosen)
+            if len(requests) > 1:
+                self.stats.contended_grants += 1
+        elif len(eligible) == 1 and self.policy.stateless:
+            # Any stateless policy picks the only eligible call.
+            chosen = eligible[0]
+            self._pending.remove(chosen)
+        else:
+            # _PendingCall exposes the Request interface directly.
+            chosen = self.policy.select(eligible, self._last_client)
+            self._pending.remove(chosen)
+            if len(eligible) > 1:
+                self.stats.contended_grants += 1
         self._busy = True
-        if len(requests) > 1:
-            self.stats.contended_grants += 1
         chosen.is_granted = True
-        chosen.granted.notify(delta=True)
+        if self._fast:
+            # End-of-delta decision: fire now, the client wakes next
+            # evaluate phase at the same timestamp (see channel arbiter).
+            chosen.granted.notify()
+        else:
+            chosen.granted.notify(delta=True)
         return True
 
     # -- introspection ---------------------------------------------------------------

@@ -72,7 +72,7 @@ class CycleBudget:
         return SimTime.from_fs(self._cycle_fs)
 
     def cycles(self, count: float) -> SimTime:
-        return SimTime.from_fs(round(self._cycle_fs * count))
+        return SimTime.intern(round(self._cycle_fs * count))
 
     def cycles_for(self, duration: SimTime) -> int:
         """Whole cycles needed to cover *duration* (ceiling)."""

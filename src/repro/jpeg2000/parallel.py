@@ -73,9 +73,13 @@ class DecodeOptions:
 
     @property
     def effective_workers(self) -> int:
+        # Clamped to the host's CPU count: extra workers only add pool
+        # and pickling overhead (BENCH_decode.json showed parallel-4 on a
+        # 1-CPU machine gaining nothing over fast-sequential).
+        cpus = os.cpu_count() or 1
         if self.workers is None:
-            return os.cpu_count() or 1
-        return self.workers
+            return cpus
+        return min(self.workers, cpus)
 
     @property
     def parallel(self) -> bool:

@@ -10,12 +10,18 @@ all coordinated by :class:`Simulator`.
 from .event import Event
 from .fifo import Fifo
 from .module import Module
-from .process import AllOf, AnyOf, Process, ProcessState, join
-from .scheduler import ProcessError, SimulationError, Simulator
+from .process import AllOf, AnyOf, Process, ProcessState, Timeout, join
+from .scheduler import (
+    ProcessError,
+    SimulationError,
+    Simulator,
+    default_fast,
+    set_default_fast,
+)
 from .signal import Clock, ResetSignal, Signal
 from .sync import Barrier, Mutex, Semaphore
 from .time import ZERO_TIME, SimTime, fs, ms, ns, ps, sec, us
-from .tracing import Trace
+from .tracing import SimProfiler, Trace
 
 __all__ = [
     "AllOf",
@@ -32,16 +38,20 @@ __all__ = [
     "ResetSignal",
     "Semaphore",
     "Signal",
+    "SimProfiler",
     "SimTime",
     "SimulationError",
     "Simulator",
+    "Timeout",
     "Trace",
     "ZERO_TIME",
+    "default_fast",
     "fs",
     "join",
     "ms",
     "ns",
     "ps",
     "sec",
+    "set_default_fast",
     "us",
 ]

@@ -46,18 +46,19 @@ class Event:
         if delta and delay is not None:
             raise ValueError("pass either a delay or delta=True, not both")
         if delay is None and not delta:
-            self._cancel_pending()
+            if self._pending_handle is not None:
+                self._cancel_pending()
             self.sim._trigger_now(self)
             return
         if delta or delay == ZERO_TIME:
-            target = self.sim.now.femtoseconds
+            target = self.sim._now_fs
             if self._pending_at is not None and self._pending_at <= target:
                 return  # an earlier (or equal) notification is already pending
             self._cancel_pending()
             self._pending_at = target
             self._pending_handle = self.sim._schedule_delta(self)
             return
-        target = self.sim.now.femtoseconds + delay.femtoseconds
+        target = self.sim._now_fs + delay.femtoseconds
         if self._pending_at is not None and self._pending_at <= target:
             return
         self._cancel_pending()
@@ -80,9 +81,10 @@ class Event:
         """Deliver the notification: wake every waiting process."""
         self._pending_at = None
         self._pending_handle = None
-        waiting, self._waiting = self._waiting, []
-        for proc in waiting:
-            proc._wake(self)
+        if self._waiting:
+            waiting, self._waiting = self._waiting, []
+            for proc in waiting:
+                proc._wake(self)
 
     def _subscribe(self, proc: "Process") -> None:
         self._waiting.append(proc)

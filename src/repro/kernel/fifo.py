@@ -42,14 +42,21 @@ class Fifo(Generic[T]):
         if len(self._items) >= self.capacity:
             return False
         self._items.append(item)
-        self._data_written.notify(delta=True)
+        # Fast mode: skip the notification when no process is waiting.
+        # Exact, because blocked peers always re-check the fifo state in
+        # their retry loop rather than counting wakeups.
+        written = self._data_written
+        if written._waiting or not self.sim.fast:
+            written.notify(delta=True)
         return True
 
     def try_get(self):
         if not self._items:
             return False, None
         item = self._items.popleft()
-        self._data_read.notify(delta=True)
+        read = self._data_read
+        if read._waiting or not self.sim.fast:
+            read.notify(delta=True)
         return True, item
 
     # -- blocking (generator) ------------------------------------------------------

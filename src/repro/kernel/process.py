@@ -49,6 +49,22 @@ class AllOf:
         self.events = tuple(events)
 
 
+class Timeout:
+    """Wait request satisfied when *event* fires or *delay* elapses.
+
+    Equivalent to ``AnyOf(event, timer)`` with a throwaway timer event,
+    but the timeout side is scheduled straight on the timed heap — the
+    cheap primitive behind polling drivers (see
+    :meth:`repro.vta.rmi.RmiClient._execute_polled`).
+    """
+
+    __slots__ = ("event", "delay")
+
+    def __init__(self, event: Event, delay: SimTime):
+        self.event = event
+        self.delay = delay
+
+
 class ProcessState(enum.Enum):
     READY = "ready"
     WAITING = "waiting"
@@ -67,6 +83,7 @@ class Process:
         "_waiting_on",
         "_pending_all",
         "_timeout_event",
+        "_timed_handle",
         "result",
         "exception",
         "done_event",
@@ -88,6 +105,8 @@ class Process:
         self._waiting_on: tuple[Event, ...] = ()
         self._pending_all: set[Event] = set()
         self._timeout_event: Optional[Event] = None
+        #: Fast-path timed wait: the heap/delta entry that will wake us.
+        self._timed_handle = None
         self.result: object = None
         self.exception: Optional[BaseException] = None
         #: Fires (delta) when the process terminates; used for joins.
@@ -105,13 +124,13 @@ class Process:
         except StopIteration as stop:
             self.result = stop.value
             self.state = ProcessState.FINISHED
-            self.done_event.notify(delta=True)
+            self._notify_done()
             self.sim._process_finished(self)
             return
         except Exception as exc:
             self.exception = exc
             self.state = ProcessState.FAILED
-            self.done_event.notify(delta=True)
+            self._notify_done()
             self.sim._process_failed(self, exc)
             return
         try:
@@ -120,13 +139,37 @@ class Process:
             self.body.close()
             self.exception = exc
             self.state = ProcessState.FAILED
-            self.done_event.notify(delta=True)
+            self._notify_done()
             self.sim._process_failed(self, exc)
+
+    def _notify_done(self) -> None:
+        """Fire ``done_event`` — skipped in fast mode when nobody waits.
+
+        Safe because every consumer (:func:`join` and friends) checks
+        :attr:`finished` before subscribing, so a skipped notification can
+        only concern processes that would re-check state anyway.
+        """
+        if self.done_event._waiting or not self.sim.fast:
+            self.done_event.notify(delta=True)
 
     def _suspend_on(self, request: object) -> None:
         self.state = ProcessState.WAITING
         if isinstance(request, SimTime):
-            timeout = Event(self.sim, f"{self.name}.timeout")
+            sim = self.sim
+            if sim.fast:
+                # Fast path: no Event, no subscription — the scheduler
+                # wakes this process straight from the timed heap (or the
+                # next delta cycle for a zero delay, matching the
+                # zero-delay-degenerates-to-delta rule of the slow path).
+                delay_fs = request._fs
+                if delay_fs:
+                    self._timed_handle = sim._schedule_timed_wake(
+                        self, sim._now_fs + delay_fs
+                    )
+                else:
+                    self._timed_handle = sim._schedule_delta_wake(self)
+                return
+            timeout = Event(sim, f"{self.name}.timeout")
             timeout.notify(request)  # a zero delay degenerates to a delta notification
             self._timeout_event = timeout
             self._waiting_on = (timeout,)
@@ -135,6 +178,19 @@ class Process:
         if isinstance(request, Event):
             self._waiting_on = (request,)
             request._subscribe(self)
+            return
+        if isinstance(request, Timeout):
+            event = request.event
+            self._waiting_on = (event,)
+            event._subscribe(self)
+            delay_fs = request.delay._fs
+            sim = self.sim
+            if delay_fs:
+                self._timed_handle = sim._schedule_timed_wake(
+                    self, sim._now_fs + delay_fs
+                )
+            else:
+                self._timed_handle = sim._schedule_delta_wake(self)
             return
         if isinstance(request, AnyOf):
             self._waiting_on = request.events
@@ -154,6 +210,12 @@ class Process:
 
     def _wake(self, fired: Event) -> None:
         """Called by an event this process subscribed to."""
+        if self.state is not ProcessState.WAITING or fired not in self._waiting_on:
+            # Stale or duplicate notification (e.g. the same event listed
+            # twice in an AnyOf, or two notifications landing in one
+            # delta): the process is already runnable — waking it again
+            # would step it twice in the same delta cycle.
+            return
         if self._pending_all:
             self._pending_all.discard(fired)
             if self._pending_all:
@@ -164,8 +226,27 @@ class Process:
         self._waiting_on = ()
         self._pending_all = set()
         self._timeout_event = None
+        self._cancel_timed_wait()  # Timeout waits also park a timed entry
         self.state = ProcessState.READY
         self.sim._make_runnable(self)
+
+    def _wake_from_timer(self) -> None:
+        """Called by the scheduler for fast-path timed/zero-delay waits."""
+        if self.state is not ProcessState.WAITING:
+            return  # killed or restarted while the entry was in flight
+        self._timed_handle = None
+        if self._waiting_on:
+            # A Timeout wait expired: drop the event subscription too.
+            for event in self._waiting_on:
+                event._unsubscribe(self)
+            self._waiting_on = ()
+        self.state = ProcessState.READY
+        self.sim._make_runnable(self)
+
+    def _cancel_timed_wait(self) -> None:
+        if self._timed_handle is not None:
+            self._timed_handle.cancelled = True
+            self._timed_handle = None
 
     def kill(self) -> None:
         """Terminate the process without running it further."""
@@ -175,9 +256,10 @@ class Process:
             event._unsubscribe(self)
         self._waiting_on = ()
         self._pending_all = set()
+        self._cancel_timed_wait()
         self.body.close()
         self.state = ProcessState.FINISHED
-        self.done_event.notify(delta=True)
+        self._notify_done()
         self.sim._process_finished(self)
 
     def restart(self) -> None:
@@ -196,6 +278,7 @@ class Process:
         self._waiting_on = ()
         self._pending_all = set()
         self._timeout_event = None
+        self._cancel_timed_wait()
         self.body.close()
         self.body = self._factory()
         self.restarts += 1

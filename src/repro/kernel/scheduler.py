@@ -12,18 +12,62 @@ The scheduling algorithm follows the SystemC reference semantics:
 
 Simulation ends when no runnable process and no pending notification remain,
 or when an optional time limit is reached.
+
+Fast paths
+----------
+
+The kernel carries two scheduling representations for the common wait
+patterns, selected per :class:`Simulator` by the ``fast`` flag (default on,
+overridable with the ``REPRO_KERNEL_FAST`` environment variable or
+:func:`set_default_fast`):
+
+* ``yield SimTime(...)`` normally builds a throwaway :class:`Event`, routes
+  it through the notification machinery and tears it down again.  The fast
+  path instead parks the process directly on the timed heap
+  (:class:`_TimedWake`) — one heap entry, no Event, no subscribe /
+  unsubscribe churn.
+* components can schedule plain callbacks into the delta-notification
+  phase (:meth:`Simulator._schedule_delta_call`), which lets bus arbiters
+  and Shared-Object schedulers run as end-of-delta callbacks instead of
+  always-on processes.
+
+Both representations produce identical simulated timestamps and delta
+counts for the visible behaviour; the reference (slow) mode is kept alive
+so property tests can diff the two schedulers on random process graphs.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from collections import deque
+from time import perf_counter
 from typing import Callable, Optional
 
 from .event import Event
-from .process import Process, ProcessBody
+from .process import Process, ProcessBody, ProcessState
 from .time import SimTime, ZERO_TIME
+
+#: Process-level default for the per-simulator ``fast`` flag.
+_DEFAULT_FAST = os.environ.get("REPRO_KERNEL_FAST", "1") != "0"
+
+
+def set_default_fast(enabled: bool) -> bool:
+    """Set the default ``fast`` mode of newly built simulators.
+
+    Returns the previous default so callers (benchmark harnesses mainly)
+    can restore it in a ``finally`` block.
+    """
+    global _DEFAULT_FAST
+    previous = _DEFAULT_FAST
+    _DEFAULT_FAST = bool(enabled)
+    return previous
+
+
+def default_fast() -> bool:
+    """The current default of the ``fast`` flag."""
+    return _DEFAULT_FAST
 
 
 class SimulationError(RuntimeError):
@@ -40,7 +84,7 @@ class ProcessError(SimulationError):
 
 
 class _TimedEntry:
-    """Heap entry for a timed notification (lazily cancellable)."""
+    """Heap entry for a timed event notification (lazily cancellable)."""
 
     __slots__ = ("at_fs", "seq", "event", "cancelled")
 
@@ -50,12 +94,37 @@ class _TimedEntry:
         self.event = event
         self.cancelled = False
 
-    def __lt__(self, other: "_TimedEntry") -> bool:
-        return (self.at_fs, self.seq) < (other.at_fs, other.seq)
+    def fire(self) -> None:
+        self.event._fire()
+
+    def __lt__(self, other) -> bool:
+        if self.at_fs != other.at_fs:
+            return self.at_fs < other.at_fs
+        return self.seq < other.seq
+
+
+class _TimedWake:
+    """Heap entry waking one process directly (timed-wait fast path)."""
+
+    __slots__ = ("at_fs", "seq", "proc", "cancelled")
+
+    def __init__(self, at_fs: int, seq: int, proc: Process):
+        self.at_fs = at_fs
+        self.seq = seq
+        self.proc = proc
+        self.cancelled = False
+
+    def fire(self) -> None:
+        self.proc._wake_from_timer()
+
+    def __lt__(self, other) -> bool:
+        if self.at_fs != other.at_fs:
+            return self.at_fs < other.at_fs
+        return self.seq < other.seq
 
 
 class _DeltaEntry:
-    """Entry in the delta-notification queue (lazily cancellable)."""
+    """Delta-queue entry firing an event (lazily cancellable)."""
 
     __slots__ = ("event", "cancelled")
 
@@ -63,15 +132,45 @@ class _DeltaEntry:
         self.event = event
         self.cancelled = False
 
+    def fire(self) -> None:
+        self.event._fire()
+
+
+class _DeltaWake:
+    """Delta-queue entry waking one process directly (zero-delay wait)."""
+
+    __slots__ = ("proc", "cancelled")
+
+    def __init__(self, proc: Process):
+        self.proc = proc
+        self.cancelled = False
+
+    def fire(self) -> None:
+        self.proc._wake_from_timer()
+
+
+class _DeltaCall:
+    """Delta-queue entry running a plain callback (arbiter fast path)."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.cancelled = False
+
+    def fire(self) -> None:
+        self.fn()
+
 
 class Simulator:
     """Owns simulated time, the event queues, and all processes."""
 
-    def __init__(self):
+    def __init__(self, fast: Optional[bool] = None):
         self._now_fs = 0
+        self._now_cache: Optional[SimTime] = ZERO_TIME
         self._runnable: deque[Process] = deque()
-        self._delta_queue: list[_DeltaEntry] = []
-        self._timed_queue: list[_TimedEntry] = []
+        self._delta_queue: list = []
+        self._timed_queue: list = []
         self._update_queue: list[Callable[[], None]] = []
         self._seq = itertools.count()
         self.processes: list[Process] = []
@@ -79,12 +178,24 @@ class Simulator:
         #: Raised process errors abort the run; kept for post-mortem access.
         self.failure: Optional[ProcessError] = None
         self._running = False
+        #: Enables the kernel fast paths (direct timed process wakes and
+        #: delta callbacks).  Components such as the VTA channels consult
+        #: this flag to pick their own fast/reference scheduling.
+        self.fast = _DEFAULT_FAST if fast is None else bool(fast)
+        #: When set (see :class:`~repro.kernel.tracing.SimProfiler`), every
+        #: process step is timed and attributed.
+        self.profiler = None
 
     # -- public API ----------------------------------------------------------
 
     @property
     def now(self) -> SimTime:
-        return SimTime.from_fs(self._now_fs)
+        cached = self._now_cache
+        if cached is not None and cached._fs == self._now_fs:
+            return cached
+        cached = SimTime.from_fs(self._now_fs)
+        self._now_cache = cached
+        return cached
 
     def event(self, name: str = "event") -> Event:
         return Event(self, name)
@@ -138,40 +249,59 @@ class Simulator:
 
     def _evaluate_and_update(self) -> None:
         """One or more delta cycles at the current time point."""
-        while self._runnable or self._delta_queue or self._update_queue:
+        runnable = self._runnable
+        ready = ProcessState.READY
+        while runnable or self._delta_queue or self._update_queue:
             self.delta_count += 1
             # Evaluate phase.
-            while self._runnable:
-                proc = self._runnable.popleft()
-                if proc.finished:
-                    continue
-                proc._step()
-                if self.failure is not None:
-                    return
+            profiler = self.profiler
+            if profiler is None:
+                while runnable:
+                    proc = runnable.popleft()
+                    if proc.state is ready:
+                        proc._step()
+                        if self.failure is not None:
+                            return
+            else:
+                while runnable:
+                    proc = runnable.popleft()
+                    if proc.state is ready:
+                        started = perf_counter()
+                        proc._step()
+                        profiler._record(
+                            proc, perf_counter() - started, self.delta_count
+                        )
+                        if self.failure is not None:
+                            return
             # Update phase.
-            updates, self._update_queue = self._update_queue, []
-            for update in updates:
-                update()
+            if self._update_queue:
+                updates, self._update_queue = self._update_queue, []
+                for update in updates:
+                    update()
             # Delta-notification phase.
-            deltas, self._delta_queue = self._delta_queue, []
-            for entry in deltas:
-                if not entry.cancelled:
-                    entry.event._fire()
+            if self._delta_queue:
+                deltas, self._delta_queue = self._delta_queue, []
+                for entry in deltas:
+                    if not entry.cancelled:
+                        entry.fire()
 
     def _peek_timed(self) -> Optional[int]:
-        while self._timed_queue and self._timed_queue[0].cancelled:
-            heapq.heappop(self._timed_queue)
-        if not self._timed_queue:
+        queue = self._timed_queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        if not queue:
             return None
-        return self._timed_queue[0].at_fs
+        return queue[0].at_fs
 
     def _fire_due_timed(self) -> None:
-        while self._timed_queue and (
-            self._timed_queue[0].cancelled or self._timed_queue[0].at_fs == self._now_fs
-        ):
-            entry = heapq.heappop(self._timed_queue)
+        """Fire every entry due now — same-timestamp wakes are batched."""
+        queue = self._timed_queue
+        now_fs = self._now_fs
+        pop = heapq.heappop
+        while queue and (queue[0].cancelled or queue[0].at_fs == now_fs):
+            entry = pop(queue)
             if not entry.cancelled:
-                entry.event._fire()
+                entry.fire()
 
     # -- hooks used by Event / Process / primitive channels ---------------------
 
@@ -183,8 +313,32 @@ class Simulator:
         self._delta_queue.append(entry)
         return entry
 
+    def _schedule_delta_wake(self, proc: Process) -> _DeltaWake:
+        """Fast path: wake *proc* in the next delta cycle (zero-delay wait)."""
+        entry = _DeltaWake(proc)
+        self._delta_queue.append(entry)
+        return entry
+
+    def _schedule_delta_call(self, fn: Callable[[], None]) -> _DeltaCall:
+        """Run *fn* in this timestamp's next delta-notification phase.
+
+        The callback runs exactly where an always-on arbiter process woken
+        by a delta-notified event would make its decision visible, so
+        event-driven arbiters built on this hook reproduce the reference
+        process-based timing without paying a process wake per decision.
+        """
+        entry = _DeltaCall(fn)
+        self._delta_queue.append(entry)
+        return entry
+
     def _schedule_timed(self, event: Event, at_fs: int) -> _TimedEntry:
         entry = _TimedEntry(at_fs, next(self._seq), event)
+        heapq.heappush(self._timed_queue, entry)
+        return entry
+
+    def _schedule_timed_wake(self, proc: Process, at_fs: int) -> _TimedWake:
+        """Fast path: park *proc* directly on the timed heap (no Event)."""
+        entry = _TimedWake(at_fs, next(self._seq), proc)
         heapq.heappush(self._timed_queue, entry)
         return entry
 

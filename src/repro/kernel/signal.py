@@ -46,7 +46,12 @@ class Signal(Generic[T]):
         self._update_pending = False
         if self._next != self._current:
             self._current = self._next
-            self.changed.notify(delta=True)
+            # Fast mode: skip the notification when nothing subscribes.
+            # Exact, because no process can run between the update phase
+            # and the delta-notification phase, so there is no window in
+            # which a subscriber could still appear for this change.
+            if self.changed._waiting or not self.sim.fast:
+                self.changed.notify(delta=True)
 
     def __repr__(self) -> str:
         return f"Signal({self.name!r}, value={self._current!r})"
@@ -110,7 +115,8 @@ class Clock:
         if self._driving:
             return
         self._driving = True
-        self.sim.spawn(self._drive(), name=f"{self.name}.driver")
+        drive = self._drive_batched if self.sim.fast else self._drive
+        self.sim.spawn(drive(), name=f"{self.name}.driver")
 
     def _drive(self):
         half = SimTime.from_fs(self.period.femtoseconds // 2)
@@ -119,6 +125,22 @@ class Clock:
             yield half
             self.negedge.notify()
             yield half
+
+    def _drive_batched(self):
+        """Fast path: both edges of a cycle scheduled from one wakeup.
+
+        The posedge fires immediately and the negedge is posted as a timed
+        notification half a period ahead, so the driver suspends once per
+        cycle instead of once per edge.  Edge timestamps are identical to
+        :meth:`_drive` (including its behaviour for odd periods, which
+        advance by twice the rounded-down half period).
+        """
+        half = SimTime.from_fs(self.period.femtoseconds // 2)
+        full = SimTime.from_fs(2 * half.femtoseconds)
+        while True:
+            self.posedge.notify()
+            self.negedge.notify(half)
+            yield full
 
     def cycles(self, count: float) -> SimTime:
         """Duration of *count* clock cycles (fractions allowed)."""

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from functools import total_ordering
 
+#: Memoised SimTime instances, keyed by femtosecond count (see
+#: :meth:`SimTime.intern`).  Bounded so one-off values cannot leak.
+_intern_cache: dict = {}
+_INTERN_LIMIT = 65536
+
 #: Multipliers from unit name to femtoseconds.
 _UNIT_FS = {
     "fs": 1,
@@ -45,6 +50,23 @@ class SimTime:
             raise ValueError(f"time must be non-negative, got {fs} fs")
         t = cls.__new__(cls)
         t._fs = int(fs)
+        return t
+
+    @classmethod
+    def intern(cls, fs: int) -> "SimTime":
+        """Like :meth:`from_fs`, but memoised.
+
+        Simulations construct the same durations over and over (clock
+        periods, bus-transfer times, EETs); interning them avoids one
+        object allocation per wait on those hot paths.  The cache is
+        bounded, so arbitrary one-off values (e.g. timestamps) can pass
+        through without growing it forever.
+        """
+        t = _intern_cache.get(fs)
+        if t is None:
+            t = cls.from_fs(fs)
+            if len(_intern_cache) < _INTERN_LIMIT:
+                _intern_cache[fs] = t
         return t
 
     @property

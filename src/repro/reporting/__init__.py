@@ -1,6 +1,6 @@
 """``repro.reporting`` — result tables and wall-clock benchmark output."""
 
-from .bench import DecodeBench, machine_info, time_call
+from .bench import DecodeBench, SimulationBench, machine_info, time_call
 from .tables import Table
 
-__all__ = ["DecodeBench", "Table", "machine_info", "time_call"]
+__all__ = ["DecodeBench", "SimulationBench", "Table", "machine_info", "time_call"]

@@ -113,3 +113,77 @@ class DecodeBench:
         payload = self.payload(**extra)
         Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
         return payload
+
+
+class SimulationBench:
+    """Trajectory payload for the simulation-substrate benchmark.
+
+    Tracks, per Table 1 VTA bench, the wall clock of the reference
+    scheduler (``fast=False``), the fast substrate (``fast=True``), and a
+    fixed *seed* anchor recorded when the fast substrate was introduced —
+    plus the value-invariance verdict, which is the whole point: the fast
+    substrate must not move a single reported millisecond.
+    """
+
+    def __init__(self, benches, seed_baseline_seconds: Optional[dict] = None,
+                 seed_commit: str = ""):
+        self.benches = list(benches)
+        #: Wall clock of the pre-fast-substrate kernel per bench, measured
+        #: once via interleaved best-of-N subprocess runs — the fixed
+        #: anchor of the substrate-perf trajectory.  Do not update when
+        #: the code gets faster.
+        self.seed_baseline_seconds = dict(seed_baseline_seconds or {})
+        self.seed_commit = seed_commit
+        self.timings: dict[str, dict[str, float]] = {b: {} for b in self.benches}
+        self.values_identical: Optional[bool] = None
+
+    def record(self, bench: str, mode: str, seconds: float) -> None:
+        self.timings.setdefault(bench, {})[mode] = seconds
+
+    def speedup(self, bench: str, numerator: str, denominator: str = "fast") -> Optional[float]:
+        timings = self.timings.get(bench, {})
+        top = self.seed_baseline_seconds.get(bench) if numerator == "seed" else timings.get(numerator)
+        bottom = timings.get(denominator)
+        if not top or not bottom:
+            return None
+        return round(top / bottom, 3)
+
+    def payload(self, **extra) -> dict:
+        benches = {}
+        for bench in self.benches:
+            entry = {
+                "seconds": {k: round(v, 4) for k, v in self.timings.get(bench, {}).items()},
+            }
+            seed = self.seed_baseline_seconds.get(bench)
+            if seed:
+                entry["seed_seconds"] = seed
+                speedup = self.speedup(bench, "seed")
+                if speedup:
+                    entry["speedup_vs_seed"] = speedup
+            ref_speedup = self.speedup(bench, "reference")
+            if ref_speedup:
+                entry["speedup_vs_reference"] = ref_speedup
+            benches[bench] = entry
+        seed_total = sum(self.seed_baseline_seconds.get(b, 0.0) for b in self.benches)
+        fast_total = sum(self.timings.get(b, {}).get("fast", 0.0) for b in self.benches)
+        result = {
+            "schema": SCHEMA_VERSION,
+            "benchmark": "simulation substrate wall clock (Table 1 VTA benches)",
+            "machine": machine_info(),
+            "seed_commit": self.seed_commit,
+            "values_identical": self.values_identical,
+            "benches": benches,
+        }
+        if seed_total and fast_total:
+            result["total"] = {
+                "seed_seconds": round(seed_total, 4),
+                "fast_seconds": round(fast_total, 4),
+                "speedup_vs_seed": round(seed_total / fast_total, 3),
+            }
+        result.update(extra)
+        return result
+
+    def write(self, path: Path | str, **extra) -> dict:
+        payload = self.payload(**extra)
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        return payload

@@ -78,7 +78,7 @@ class BlockRam:
 
     def access_time(self, accesses: int) -> SimTime:
         """Duration of *accesses* back-to-back single-port accesses."""
-        return SimTime.from_fs(self.cycle.femtoseconds * self.latency_cycles * accesses)
+        return SimTime.intern(self.cycle.femtoseconds * self.latency_cycles * accesses)
 
     # -- blocking accessors (cycle-accurate style) --------------------------------
 

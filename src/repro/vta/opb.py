@@ -61,4 +61,4 @@ class OpbBus(OsssChannel):
             cycles = self.setup_cycles + self.burst_cycles_per_word * words
         else:
             cycles = self.setup_cycles + self.cycles_per_word * words
-        return SimTime.from_fs(round(self.cycle.femtoseconds * cycles))
+        return SimTime.intern(round(self.cycle.femtoseconds * cycles))

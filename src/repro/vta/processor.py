@@ -66,6 +66,22 @@ class SoftwareProcessor(Module):
         """
         result = body() if body is not None else None
         remaining_fs = duration.femtoseconds
+        if (
+            self.sim.fast
+            and len(self.tasks) <= 1
+            and self._running is None
+            and not self._run_queue
+        ):
+            # Single-task fast path: with no other task mapped (and no
+            # competing request in flight) there is no preemption source,
+            # so slicing the duration cannot change anything observable —
+            # consume it in one timed wait.  The slice loop below remains
+            # the reference semantics for shared processors.
+            self._last_task = task
+            if remaining_fs:
+                yield SimTime.intern(remaining_fs)
+                self.busy_fs += remaining_fs
+            return result
         while remaining_fs > 0:
             slot = _Slot(self.sim, task)
             self._run_queue.append(slot)
@@ -77,7 +93,7 @@ class SoftwareProcessor(Module):
                 self.switches += 1
                 remaining_fs += self.context_switch.femtoseconds
             self._last_task = task
-            yield SimTime.from_fs(slice_fs)
+            yield SimTime.intern(slice_fs)
             self.busy_fs += slice_fs
             remaining_fs -= slice_fs
             self._running = None

@@ -4,7 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import Fcfs, Request, RoundRobin, StaticPriority
 from repro.core.serialisation import payload_bits, serialise_call
-from repro.kernel import SimTime, Simulator
+from repro.kernel import Signal, SimTime, Simulator, Timeout
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=40))
@@ -114,3 +114,84 @@ def test_serialise_call_word_count_consistent(args, word_bits):
     payload = serialise_call(tuple(args), {}, word_bits)
     assert payload.words * word_bits >= payload.bits
     assert (payload.words - 1) * word_bits < payload.bits or payload.words == 0
+
+
+# -- fast substrate vs reference scheduler -------------------------------------
+#
+# The fast scheduler (timed-heap wakes without throwaway events, lazy
+# notification, batched clock edges) must be *observably identical* to the
+# reference scheduler.  Random programs over processes, events, signals and
+# timeouts are executed under both and every observable — the full wake
+# trace (which process ran which step at which time, in which order), every
+# signal value observed mid-run, the final signal values, and the final
+# simulation time — must agree.
+
+_EVENTS, _SIGNALS = 4, 3
+
+_kernel_ops = st.one_of(
+    st.tuples(st.just("wait"), st.integers(0, 50)),
+    st.tuples(st.just("wait_event"), st.integers(0, _EVENTS - 1)),
+    st.tuples(
+        st.just("timeout"),
+        st.integers(0, _EVENTS - 1),
+        st.integers(0, 50),
+    ),
+    st.tuples(st.just("notify_delta"), st.integers(0, _EVENTS - 1)),
+    st.tuples(
+        st.just("notify_timed"),
+        st.integers(0, _EVENTS - 1),
+        st.integers(0, 50),
+    ),
+    st.tuples(
+        st.just("write"),
+        st.integers(0, _SIGNALS - 1),
+        st.integers(0, 9),
+    ),
+    st.tuples(st.just("observe"), st.integers(0, _SIGNALS - 1)),
+)
+
+_kernel_programs = st.lists(
+    st.lists(_kernel_ops, min_size=1, max_size=6), min_size=1, max_size=5
+)
+
+
+def _execute_program(programs, fast: bool):
+    sim = Simulator(fast=fast)
+    events = [sim.event(f"e{index}") for index in range(_EVENTS)]
+    signals = [Signal(sim, 0, f"s{index}") for index in range(_SIGNALS)]
+    trace = []
+
+    def make(pid, ops):
+        def body():
+            for step, op in enumerate(ops):
+                kind = op[0]
+                if kind == "wait":
+                    yield SimTime.from_fs(op[1])
+                elif kind == "wait_event":
+                    yield events[op[1]]
+                elif kind == "timeout":
+                    yield Timeout(events[op[1]], SimTime.from_fs(op[2]))
+                elif kind == "notify_delta":
+                    events[op[1]].notify(delta=True)
+                elif kind == "notify_timed":
+                    events[op[1]].notify(SimTime.from_fs(op[2]))
+                elif kind == "write":
+                    signals[op[1]].write(op[2])
+                else:
+                    trace.append(("obs", pid, step, op[1], signals[op[1]].read()))
+                trace.append((pid, step, sim.now.femtoseconds))
+
+        return body
+
+    for pid, ops in enumerate(programs):
+        sim.spawn(make(pid, ops)(), f"p{pid}")
+    final = sim.run()
+    return trace, [signal.read() for signal in signals], final.femtoseconds
+
+
+@given(_kernel_programs)
+@settings(max_examples=120, deadline=None)
+def test_fast_substrate_matches_reference_scheduler(programs):
+    assert _execute_program(programs, fast=True) == _execute_program(
+        programs, fast=False
+    )

@@ -1,5 +1,7 @@
 """Unit tests of the parallel entropy-decode scheduling layer."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -35,7 +37,11 @@ class TestDecodeOptions:
 
     def test_none_workers_uses_cpu_count(self):
         options = DecodeOptions(workers=None)
-        assert options.effective_workers >= 1
+        assert options.effective_workers == (os.cpu_count() or 1)
+
+    def test_workers_clamped_to_cpu_count(self):
+        cpus = os.cpu_count() or 1
+        assert DecodeOptions(workers=cpus + 7).effective_workers == cpus
 
     def test_rejects_negative_workers(self):
         with pytest.raises(ValueError):
@@ -51,7 +57,8 @@ class TestDecodeOptions:
 
     def test_single_worker_is_not_parallel(self):
         assert not DecodeOptions(workers=1).parallel
-        assert DecodeOptions(workers=2).parallel
+        # Parallelism only engages when the host actually has the CPUs.
+        assert DecodeOptions(workers=2).parallel == ((os.cpu_count() or 1) >= 2)
 
 
 class TestChunking:

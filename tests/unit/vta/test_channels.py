@@ -165,3 +165,57 @@ class TestStatistics:
         sim.spawn(body(), "m")
         with pytest.raises(Exception, match="non-negative"):
             sim.run()
+
+
+class TestBurstFastForwardEquivalence:
+    """Fast-mode burst fast-forwarding must reproduce the reference arbiter.
+
+    Runs the same traffic pattern under both scheduler modes and compares
+    every observable: per-master completion times, wait/busy statistics,
+    transaction and word counts.
+    """
+
+    @staticmethod
+    def _run_traffic(fast, priorities=(0, 0, 0), starts=(0, 0, 50),
+                     words=(10, 4, 7), policy=None):
+        sim = Simulator(fast=fast)
+        bus = OpbBus(sim, CYCLE, arbitration_cycles=2, setup_cycles=1,
+                     cycles_per_word=2.0, policy=policy)
+        finish = {}
+
+        def master(name, priority, start_ns, count):
+            handle = bus.connect_master(name, priority)
+
+            def body():
+                if start_ns:
+                    yield ns(start_ns)
+                yield from bus.transport(handle, count)
+                yield ns(5)  # idle gap, then a second burst
+                yield from bus.transport(handle, count)
+                finish[name] = sim.now.femtoseconds
+
+            return body
+
+        for index, (priority, start, count) in enumerate(zip(priorities, starts, words)):
+            sim.spawn(master(f"m{index}", priority, start, count)(), f"m{index}")
+        sim.run()
+        stats = bus.stats
+        return finish, stats.transactions, stats.words, stats.busy_fs, stats.wait_fs
+
+    def test_contended_traffic_matches_reference(self):
+        assert self._run_traffic(fast=True) == self._run_traffic(fast=False)
+
+    def test_priority_contention_matches_reference(self):
+        kwargs = dict(priorities=(2, 1, 0), starts=(0, 0, 0),
+                      policy=StaticPriority())
+        assert (
+            self._run_traffic(fast=True, **kwargs)
+            == self._run_traffic(fast=False, **kwargs)
+        )
+
+    def test_uncontended_single_master_matches_reference(self):
+        kwargs = dict(priorities=(0,), starts=(0,), words=(13,))
+        assert (
+            self._run_traffic(fast=True, **kwargs)
+            == self._run_traffic(fast=False, **kwargs)
+        )
