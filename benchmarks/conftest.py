@@ -7,6 +7,21 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="attach per-process SimProfiler data to benchmark payloads "
+        "(slower: profiled runs time every process step)",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile_enabled(request):
+    return request.config.getoption("--profile")
+
+
 def pytest_collection_modifyitems(config, items):
     """Skip ``slow``-marked benchmarks unless selected with ``-m slow``.
 

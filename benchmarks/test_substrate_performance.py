@@ -181,7 +181,7 @@ print(json.dumps({
 
 
 @pytest.mark.slow
-def test_substrate_wallclock_vta_benches():
+def test_substrate_wallclock_vta_benches(profile_enabled):
     """Time the VTA benches under both substrates and write BENCH_sim.json.
 
     Asserts only value-invariance — wall clock is recorded, not asserted,
@@ -237,6 +237,23 @@ def test_substrate_wallclock_vta_benches():
         bench.record(version, "reference", timings["reference"])
         bench.record(version, "fast", timings["fast"])
     bench.values_identical = True
+    if profile_enabled:
+        # Separate in-process profiled runs (lossless, fast substrate):
+        # profiling times every step, so it never contaminates the
+        # wall-clock numbers recorded above.
+        from repro.casestudy.explorer import ALL_VERSIONS
+        from repro.casestudy.workload import paper_workload
+        from repro.kernel.tracing import SimProfiler
+
+        previous = set_default_fast(True)
+        try:
+            for version in VTA_BENCHES:
+                model = ALL_VERSIONS[version](paper_workload(True))
+                profiler = SimProfiler(model.sim)
+                model.run()
+                bench.record_profile(version, profiler.as_dict())
+        finally:
+            set_default_fast(previous)
     payload = bench.write(BENCH_FILE)
     print(f"\nwrote {BENCH_FILE}")
     for version, entry in payload["benches"].items():

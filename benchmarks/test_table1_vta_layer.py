@@ -8,7 +8,7 @@ the paper discusses (inflation vs model 3, 6b == 7b, speed-up vs SW-only).
 import pytest
 
 from repro.casestudy import ROW_LABELS, VTA_VERSIONS, paper_workload, run_version
-from repro.reporting import Table
+from repro.reporting import CHANNEL_TRAFFIC_COLUMNS, Table, channel_traffic_row
 
 
 @pytest.fixture(scope="module")
@@ -67,19 +67,12 @@ def test_vta_bus_statistics(benchmark, reports, emit):
     """Secondary observables: where the OPB time actually went."""
     benchmark.pedantic(lambda: reports[("6a", True)].details, iterations=1, rounds=1)
     table = Table(
-        ["version", "bus transactions", "bus words", "bus wait [ms]", "polls"],
+        list(CHANNEL_TRAFFIC_COLUMNS),
         title="OPB traffic per VTA mapping (lossless run)",
     )
     for name in VTA_VERSIONS:
         details = reports[(name, True)].details
-        bus = details["opb"]
-        table.add_row(
-            name,
-            bus.transactions,
-            bus.words,
-            bus.wait_fs / 1e12,
-            "n/a",
-        )
+        table.add_row(*channel_traffic_row(name, details["opb"]))
     emit(table, "table1_vta_bus_traffic")
     # bus-only mappings move the tile data over the OPB twice more
     assert (

@@ -122,6 +122,76 @@ def _cmd_version(args) -> int:
     return 0
 
 
+def _build_and_run(name: str, lossy: bool):
+    """Build one model version with telemetry installed, run it, return
+    ``(report, recorder, profiler)``.
+
+    The recorder must be installed *before* the model is constructed:
+    the Simulator caches its telemetry reference at construction time so
+    the disabled path stays branch-free.
+    """
+    from . import telemetry
+    from .casestudy.explorer import ALL_VERSIONS
+    from .casestudy.workload import paper_workload
+    from .kernel.tracing import SimProfiler
+
+    if name not in ALL_VERSIONS:
+        raise SystemExit(f"unknown version {name!r}")
+    recorder = telemetry.TelemetryRecorder()
+    telemetry.install(recorder)
+    try:
+        model = ALL_VERSIONS[name](paper_workload(not lossy))
+        profiler = SimProfiler(model.sim)
+        report = model.run()
+    finally:
+        telemetry.uninstall()
+    return report, recorder, profiler
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from .telemetry.export import aggregate, flame_summary, stage_shares
+
+    report, recorder, profiler = _build_and_run(args.name, args.lossy)
+    shares = stage_shares(recorder)
+    if args.json:
+        payload = {
+            "version": args.name,
+            "mode": report.mode,
+            "decode_ms": report.decode_ms,
+            "idwt_ms": report.idwt_ms,
+            "profile": profiler.as_dict(),
+            "metrics": recorder.metrics.as_dict(),
+            "stage_shares": shares,
+            "spans": aggregate(recorder),
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(report)
+    print()
+    print(profiler.report())
+    if shares:
+        print("# per-stage share of simulated stage time (cf. Fig. 1)")
+        for stage, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            print(f"{stage:<8} {100.0 * share:6.2f}%")
+        print()
+    print(flame_summary(recorder))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .telemetry.export import write_chrome_trace
+
+    report, recorder, _profiler = _build_and_run(args.name, args.lossy)
+    write_chrome_trace(recorder, args.out, label=f"repro {args.name}")
+    print(report)
+    print(f"wrote {len(recorder.spans)} spans to {args.out} "
+          "(open in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +221,24 @@ def main(argv=None) -> int:
     p_run.add_argument("--functional", action="store_true",
                        help="really decode a codestream through the model")
     p_run.set_defaults(func=_cmd_version)
+
+    version_names = ["1", "2", "3", "4", "5", "6a", "6b", "7a", "7b"]
+
+    p_prof = sub.add_parser("profile", help="simulate one version with "
+                            "per-process and per-stage profiling")
+    p_prof.add_argument("name", choices=version_names)
+    p_prof.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the full profile as JSON instead of tables")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_trace = sub.add_parser("trace", help="simulate one version and export "
+                             "a Chrome/Perfetto trace")
+    p_trace.add_argument("name", choices=version_names)
+    p_trace.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -140,15 +140,34 @@ class ModelBase:
             return self.workload.decoder.tile_stages(tile_index)
         return None
 
+    def _staged(self, task, stage: str, tile_index: int, duration, body=None):
+        """``task.eet`` wrapped in a per-tile telemetry stage span.
+
+        The span lands on the task's track in simulated time, so a trace
+        of any model version carries the Fig. 1 stage decomposition
+        (category ``stage``) without extra counters.
+        """
+        tel = self.sim.telemetry
+        if tel is None:
+            result = yield from task.eet(duration, body)
+            return result
+        begin_fs = self.sim._now_fs
+        result = yield from task.eet(duration, body)
+        tel.complete(
+            "stage", stage, task.name, begin_fs, self.sim._now_fs,
+            {"tile": tile_index},
+        )
+        return result
+
     def _finish_tile_sw(self, task, tile_index, stages, planes):
         """The software tail of the pipeline: inverse MCT + DC shift."""
         times = self.workload.stage_times
-        planes = yield from task.eet(
-            times.eet("ict"),
+        planes = yield from self._staged(
+            task, "ict", tile_index, times.eet("ict"),
             (lambda: stages.inverse_mct(planes)) if stages else None,
         )
-        planes = yield from task.eet(
-            times.eet("dc"),
+        planes = yield from self._staged(
+            task, "dc", tile_index, times.eet("dc"),
             (lambda: stages.dc_shift(planes)) if stages else None,
         )
         yield from self._store_decoded_tile(task, tile_index)
@@ -170,17 +189,17 @@ class Version1SwOnly(ModelBase):
         for tile_index in self.workload.tile_indices():
             stages = self._tile_stages(tile_index)
             yield from self._fetch_coded_tile(task, tile_index)
-            bands = yield from task.eet(
-                times.eet("arith"),
+            bands = yield from self._staged(
+                task, "arith", tile_index, times.eet("arith"),
                 (lambda s=stages: s.entropy_decode()) if stages else None,
             )
-            subbands = yield from task.eet(
-                times.eet("iq"),
+            subbands = yield from self._staged(
+                task, "iq", tile_index, times.eet("iq"),
                 (lambda s=stages, b=bands: s.dequantise(b)) if stages else None,
             )
             start = self.sim.now.femtoseconds
-            planes = yield from task.eet(
-                times.eet("idwt"),
+            planes = yield from self._staged(
+                task, "idwt", tile_index, times.eet("idwt"),
                 (lambda s=stages, sb=subbands: s.inverse_dwt(sb)) if stages else None,
             )
             self._idwt_fs += self.sim.now.femtoseconds - start
@@ -220,8 +239,8 @@ class _CoprocessorModel(ModelBase):
         for tile_index in tiles:
             stages = self._tile_stages(tile_index)
             yield from self._fetch_coded_tile(task, tile_index)
-            bands = yield from task.eet(
-                times.eet("arith"),
+            bands = yield from self._staged(
+                task, "arith", tile_index, times.eet("arith"),
                 (lambda s=stages: s.entropy_decode()) if stages else None,
             )
             content = (stages, bands) if stages else None
@@ -326,8 +345,8 @@ class _PipelinedModel(ModelBase):
                 yield from self._collect(task, pending)
             stages = self._tile_stages(tile_index)
             yield from self._fetch_coded_tile(task, tile_index)
-            bands = yield from task.eet(
-                times.eet("arith"),
+            bands = yield from self._staged(
+                task, "arith", tile_index, times.eet("arith"),
                 (lambda s=stages: s.entropy_decode()) if stages else None,
             )
             for component in range(workload.num_components):

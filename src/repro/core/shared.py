@@ -212,6 +212,8 @@ class SharedObject(Module):
         return result
 
     def _execute(self, call: _PendingCall):
+        tel = self.sim.telemetry
+        entry_fs = self.sim._now_fs
         overhead_fs = (
             self.grant_overhead.femtoseconds
             + self.per_client_overhead.femtoseconds * self.num_clients
@@ -229,7 +231,24 @@ class SharedObject(Module):
             if duration:
                 yield duration
         self.stats.grants += 1
-        self.stats.busy_fs += self.sim._now_fs - started_fs + overhead_fs
+        busy_fs = self.sim._now_fs - started_fs + overhead_fs
+        self.stats.busy_fs += busy_fs
+        if tel is not None:
+            # The span covers the granted execution (arbitration overhead +
+            # method EET) on the calling client's track; the request→grant
+            # latency goes into both the span attrs and a histogram, which
+            # is what makes the v4→v5 arbitration-overhead story visible.
+            wait_fs = entry_fs - call.arrival_fs
+            tel.metrics.observe("so.grant_wait_fs", wait_fs)
+            tel.complete(
+                "so",
+                f"{self.basename}.{call.method}",
+                call.client.name,
+                entry_fs,
+                self.sim._now_fs,
+                {"object": self.name, "wait_fs": wait_fs,
+                 "overhead_fs": overhead_fs},
+            )
         return result
 
     @staticmethod
@@ -280,6 +299,10 @@ class SharedObject(Module):
         ]
         if not eligible:
             self.stats.guard_blocked += 1
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.metrics.count("so.guard_blocked")
+                tel.metrics.count(f"so.guard_blocked.{self.basename}")
             return False
         if not self._fast:
             # Reference path, kept verbatim for differential testing.

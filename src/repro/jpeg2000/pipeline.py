@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry as _telemetry
+
 #: Stage identifiers, in pipeline order (Fig. 1).
 STAGE_ARITH = "arith"
 STAGE_IQ = "iq"
@@ -35,6 +37,12 @@ class StageOps:
         if stage not in self.counts:
             raise KeyError(f"unknown stage {stage!r}")
         self.counts[stage] += amount
+        # Mirror the op counts into the metrics registry so traces carry
+        # the Fig. 1 raw material; the module flag keeps this one branch
+        # when telemetry is off (``merge`` bypasses it — merged ops were
+        # already counted at their originating ``add``).
+        if _telemetry._enabled:
+            _telemetry._recorder.metrics.count("jpeg2000.ops." + stage, amount)
 
     def merge(self, other: "StageOps") -> None:
         for stage, amount in other.counts.items():

@@ -48,6 +48,7 @@ from typing import Callable, Optional
 from .event import Event
 from .process import Process, ProcessBody, ProcessState
 from .time import SimTime, ZERO_TIME
+from .. import telemetry as _telemetry
 
 #: Process-level default for the per-simulator ``fast`` flag.
 _DEFAULT_FAST = os.environ.get("REPRO_KERNEL_FAST", "1") != "0"
@@ -185,6 +186,14 @@ class Simulator:
         #: When set (see :class:`~repro.kernel.tracing.SimProfiler`), every
         #: process step is timed and attributed.
         self.profiler = None
+        #: The telemetry recorder active at construction time, or ``None``.
+        #: Components reach telemetry through this cached reference, so a
+        #: disabled run costs one attribute read and a branch per site; the
+        #: kernel loops below additionally hoist that check out of the hot
+        #: path entirely.
+        self.telemetry = _telemetry.active()
+        if self.telemetry is not None:
+            self.telemetry.bind_sim(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -249,30 +258,20 @@ class Simulator:
 
     def _evaluate_and_update(self) -> None:
         """One or more delta cycles at the current time point."""
+        if self.profiler is not None or self.telemetry is not None:
+            self._evaluate_and_update_instrumented()
+            return
         runnable = self._runnable
         ready = ProcessState.READY
         while runnable or self._delta_queue or self._update_queue:
             self.delta_count += 1
             # Evaluate phase.
-            profiler = self.profiler
-            if profiler is None:
-                while runnable:
-                    proc = runnable.popleft()
-                    if proc.state is ready:
-                        proc._step()
-                        if self.failure is not None:
-                            return
-            else:
-                while runnable:
-                    proc = runnable.popleft()
-                    if proc.state is ready:
-                        started = perf_counter()
-                        proc._step()
-                        profiler._record(
-                            proc, perf_counter() - started, self.delta_count
-                        )
-                        if self.failure is not None:
-                            return
+            while runnable:
+                proc = runnable.popleft()
+                if proc.state is ready:
+                    proc._step()
+                    if self.failure is not None:
+                        return
             # Update phase.
             if self._update_queue:
                 updates, self._update_queue = self._update_queue, []
@@ -284,6 +283,62 @@ class Simulator:
                 for entry in deltas:
                     if not entry.cancelled:
                         entry.fire()
+
+    def _evaluate_and_update_instrumented(self) -> None:
+        """The evaluate loop with profiler timing and/or telemetry counts.
+
+        Kept separate from :meth:`_evaluate_and_update` so a disabled run
+        executes the bare loop with no per-step bookkeeping at all; the
+        step/delta totals flush into the metrics registry once per time
+        point, keeping the enabled overhead to one local int add per step.
+        """
+        runnable = self._runnable
+        ready = ProcessState.READY
+        steps = 0
+        deltas_run = 0
+        try:
+            while runnable or self._delta_queue or self._update_queue:
+                self.delta_count += 1
+                deltas_run += 1
+                # Evaluate phase.
+                profiler = self.profiler
+                if profiler is None:
+                    while runnable:
+                        proc = runnable.popleft()
+                        if proc.state is ready:
+                            proc._step()
+                            steps += 1
+                            if self.failure is not None:
+                                return
+                else:
+                    while runnable:
+                        proc = runnable.popleft()
+                        if proc.state is ready:
+                            started = perf_counter()
+                            proc._step()
+                            profiler._record(
+                                proc, perf_counter() - started, self.delta_count
+                            )
+                            steps += 1
+                            if self.failure is not None:
+                                return
+                # Update phase.
+                if self._update_queue:
+                    updates, self._update_queue = self._update_queue, []
+                    for update in updates:
+                        update()
+                # Delta-notification phase.
+                if self._delta_queue:
+                    deltas, self._delta_queue = self._delta_queue, []
+                    for entry in deltas:
+                        if not entry.cancelled:
+                            entry.fire()
+        finally:
+            tel = self.telemetry
+            if tel is not None and deltas_run:
+                metrics = tel.metrics
+                metrics.count("kernel.delta_cycles", deltas_run)
+                metrics.count("kernel.process_steps", steps)
 
     def _peek_timed(self) -> Optional[int]:
         queue = self._timed_queue
@@ -298,10 +353,21 @@ class Simulator:
         queue = self._timed_queue
         now_fs = self._now_fs
         pop = heapq.heappop
+        tel = self.telemetry
+        if tel is None:
+            while queue and (queue[0].cancelled or queue[0].at_fs == now_fs):
+                entry = pop(queue)
+                if not entry.cancelled:
+                    entry.fire()
+            return
+        fired = 0
         while queue and (queue[0].cancelled or queue[0].at_fs == now_fs):
             entry = pop(queue)
             if not entry.cancelled:
                 entry.fire()
+                fired += 1
+        if fired:
+            tel.metrics.count("kernel.timer_pops", fired)
 
     # -- hooks used by Event / Process / primitive channels ---------------------
 

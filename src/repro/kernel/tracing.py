@@ -69,11 +69,15 @@ class Trace:
         return "\n".join(lines) + "\n"
 
     def to_vcd(self, timescale: str = "1ps") -> str:
-        """Render the numeric probes as a VCD (value change dump) file.
+        """Render the probes as a VCD (value change dump) file.
 
-        Numeric values become VCD ``real`` variables so any waveform
-        viewer can open the output; non-numeric probes are skipped.
-        ``timescale`` must be one of the VCD-legal steps (1fs..1s).
+        Probe types come from the first recorded value: bools become
+        1-bit ``wire`` variables (``0``/``1`` scalar changes), other
+        numerics become ``real`` variables, and strings become VCD
+        ``string`` variables (``s<value>`` changes, as emitted by
+        SystemC/GTKWave).  Later records of a different type for the
+        same probe are skipped.  ``timescale`` must be one of the
+        VCD-legal steps (1fs..1s).
         """
         scale_fs = {
             "1fs": 1, "1ps": 10**3, "1ns": 10**6,
@@ -82,14 +86,29 @@ class Trace:
         if timescale not in scale_fs:
             raise ValueError(f"unsupported timescale {timescale!r}")
         divisor = scale_fs[timescale]
-        numeric = [
-            (t, probe, value)
-            for t, probe, value in self.records
-            if isinstance(value, (int, float)) and not isinstance(value, bool)
-        ]
-        probes = sorted({probe for _, probe, _ in numeric})
+
+        def kind_of(value) -> Optional[str]:
+            if isinstance(value, bool):
+                return "wire"
+            if isinstance(value, (int, float)):
+                return "real"
+            if isinstance(value, str):
+                return "string"
+            return None
+
+        kinds: dict[str, str] = {}
+        usable = []
+        for t, probe, value in self.records:
+            kind = kind_of(value)
+            if kind is None:
+                continue
+            if kinds.setdefault(probe, kind) != kind:
+                continue
+            usable.append((t, probe, value))
+        probes = sorted(kinds)
         # VCD identifier codes: printable ASCII starting at '!'.
         codes = {probe: chr(33 + index) for index, probe in enumerate(probes)}
+        var_width = {"wire": "wire 1", "real": "real 64", "string": "string 1"}
         lines = [
             f"$comment trace {self.name} $end",
             f"$timescale {timescale} $end",
@@ -97,15 +116,26 @@ class Trace:
         ]
         for probe in probes:
             safe = probe.replace(" ", "_")
-            lines.append(f"$var real 64 {codes[probe]} {safe} $end")
+            lines.append(
+                f"$var {var_width[kinds[probe]]} {codes[probe]} {safe} $end"
+            )
         lines += ["$upscope $end", "$enddefinitions $end"]
         current_time = None
-        for t, probe, value in sorted(numeric, key=lambda r: r[0].femtoseconds):
+        for t, probe, value in sorted(usable, key=lambda r: r[0].femtoseconds):
             ticks = t.femtoseconds // divisor
             if ticks != current_time:
                 lines.append(f"#{ticks}")
                 current_time = ticks
-            lines.append(f"r{float(value):g} {codes[probe]}")
+            code = codes[probe]
+            kind = kinds[probe]
+            if kind == "wire":
+                # Scalar change: no space between value and identifier.
+                lines.append(f"{1 if value else 0}{code}")
+            elif kind == "string":
+                safe_value = str(value).replace(" ", "_")
+                lines.append(f"s{safe_value} {code}")
+            else:
+                lines.append(f"r{float(value):g} {code}")
         return "\n".join(lines) + "\n"
 
 

@@ -1,6 +1,14 @@
 """``repro.reporting`` — result tables and wall-clock benchmark output."""
 
 from .bench import DecodeBench, SimulationBench, machine_info, time_call
-from .tables import Table
+from .tables import CHANNEL_TRAFFIC_COLUMNS, Table, channel_traffic_row
 
-__all__ = ["DecodeBench", "SimulationBench", "Table", "machine_info", "time_call"]
+__all__ = [
+    "CHANNEL_TRAFFIC_COLUMNS",
+    "DecodeBench",
+    "SimulationBench",
+    "Table",
+    "channel_traffic_row",
+    "machine_info",
+    "time_call",
+]

@@ -136,9 +136,15 @@ class SimulationBench:
         self.seed_commit = seed_commit
         self.timings: dict[str, dict[str, float]] = {b: {} for b in self.benches}
         self.values_identical: Optional[bool] = None
+        #: Optional per-bench process profiles (``SimProfiler.as_dict()``).
+        self.profiles: dict[str, dict] = {}
 
     def record(self, bench: str, mode: str, seconds: float) -> None:
         self.timings.setdefault(bench, {})[mode] = seconds
+
+    def record_profile(self, bench: str, profile: dict) -> None:
+        """Attach a per-process profile (``SimProfiler.as_dict()``) to a bench."""
+        self.profiles[bench] = profile
 
     def speedup(self, bench: str, numerator: str, denominator: str = "fast") -> Optional[float]:
         timings = self.timings.get(bench, {})
@@ -163,6 +169,9 @@ class SimulationBench:
             ref_speedup = self.speedup(bench, "reference")
             if ref_speedup:
                 entry["speedup_vs_reference"] = ref_speedup
+            profile = self.profiles.get(bench)
+            if profile is not None:
+                entry["profile"] = profile
             benches[bench] = entry
         seed_total = sum(self.seed_baseline_seconds.get(b, 0.0) for b in self.benches)
         fast_total = sum(self.timings.get(b, {}).get("fast", 0.0) for b in self.benches)

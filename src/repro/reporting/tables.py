@@ -67,6 +67,29 @@ class Table:
                 handle.write(self.to_csv())
 
 
+#: Column order of a bus-traffic table row (see :func:`channel_traffic_row`).
+CHANNEL_TRAFFIC_COLUMNS = (
+    "version", "bus transactions", "bus words", "bus wait [ms]", "polls",
+)
+
+
+def channel_traffic_row(version: str, stats, polls="n/a") -> tuple:
+    """One bus-traffic table row from a channel's statistics.
+
+    *stats* is anything exposing ``as_dict()`` with ``transactions``,
+    ``words`` and ``wait_fs`` keys (``ChannelStats`` does); cells line up
+    with :data:`CHANNEL_TRAFFIC_COLUMNS`.
+    """
+    data = stats.as_dict()
+    return (
+        version,
+        data["transactions"],
+        data["words"],
+        data["wait_fs"] / 1e12,
+        polls,
+    )
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"

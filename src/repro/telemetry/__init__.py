@@ -1,0 +1,132 @@
+"""``repro.telemetry`` — the unified observability layer.
+
+One recorder per session collects *spans* (named intervals in simulated
+time, grouped on per-process tracks) and *metrics* (counters, gauges,
+fixed-bucket histograms) from every layer of the stack: the DES kernel,
+Shared Objects, VTA channels/RMI, and the JPEG 2000 decoder stages.
+Exporters render the result as Chrome trace-event JSON (openable in
+Perfetto / ``chrome://tracing``) or as a plain-text flame summary; the
+CLI surfaces both (``python -m repro trace ...`` / ``... profile ...``).
+
+Telemetry is **off by default** and the disabled cost is engineered to be
+a module-attribute read plus a branch at each instrumentation site — the
+kernel's hot loops additionally hoist that check out of their inner loops,
+so a disabled run executes the exact pre-telemetry code path.  Usage::
+
+    from repro import telemetry
+
+    recorder = telemetry.install()
+    try:
+        report = run_version("7a", lossless=True)
+    finally:
+        telemetry.uninstall()
+    telemetry.write_chrome_trace(recorder, "trace.json")
+
+Setting ``REPRO_TELEMETRY=1`` in the environment installs a recorder at
+import time (handy for subprocess harnesses).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .export import (
+    aggregate,
+    flame_summary,
+    stage_shares,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import DEFAULT_BUCKETS_FS, Histogram, MetricsRegistry
+from .spans import Span, TelemetryRecorder
+
+#: The active recorder — ``None`` means telemetry is disabled.  Hot paths
+#: read this attribute (or a Simulator's cached ``telemetry`` reference)
+#: and branch; they must never pay more than that when disabled.
+_recorder: Optional[TelemetryRecorder] = None
+
+#: Module-level enabled flag, kept strictly in sync with ``_recorder``.
+#: The cheapest possible short-circuit for per-operation counter sites.
+_enabled = False
+
+
+def install(recorder: Optional[TelemetryRecorder] = None) -> TelemetryRecorder:
+    """Activate telemetry; simulators built from now on bind to it."""
+    global _recorder, _enabled
+    if recorder is None:
+        recorder = TelemetryRecorder()
+    _recorder = recorder
+    _enabled = True
+    return recorder
+
+
+def uninstall() -> Optional[TelemetryRecorder]:
+    """Deactivate telemetry; returns the recorder that was active."""
+    global _recorder, _enabled
+    recorder = _recorder
+    _recorder = None
+    _enabled = False
+    return recorder
+
+
+def active() -> Optional[TelemetryRecorder]:
+    """The active recorder, or ``None`` when telemetry is disabled."""
+    return _recorder
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment a counter on the active recorder (no-op when disabled)."""
+    if _enabled:
+        _recorder.metrics.count(name, amount)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled software spans."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def software_span(category: str, name: str, track: str = "sw", **attrs):
+    """A clock-timed span on the active recorder; free when disabled."""
+    recorder = _recorder
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(category, name, track, **attrs)
+
+
+if os.environ.get("REPRO_TELEMETRY", "0") == "1":  # pragma: no cover
+    install()
+
+
+__all__ = [
+    "DEFAULT_BUCKETS_FS",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryRecorder",
+    "active",
+    "aggregate",
+    "count",
+    "enabled",
+    "flame_summary",
+    "install",
+    "software_span",
+    "stage_shares",
+    "to_chrome_trace",
+    "uninstall",
+    "write_chrome_trace",
+]

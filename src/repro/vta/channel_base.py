@@ -44,6 +44,26 @@ class ChannelStats:
         self.busy_fs = 0
         self.wait_fs = 0
 
+    def as_dict(self) -> dict:
+        """The counters as plain types, ready for tables and JSON."""
+        return {
+            "transactions": self.transactions,
+            "words": self.words,
+            "busy_fs": self.busy_fs,
+            "wait_fs": self.wait_fs,
+        }
+
+    def utilisation(self, elapsed) -> float:
+        """Fraction of *elapsed* the medium was occupied.
+
+        *elapsed* is a :class:`~repro.kernel.time.SimTime` or a plain
+        femtosecond count; zero elapsed reads as zero utilisation.
+        """
+        elapsed_fs = getattr(elapsed, "femtoseconds", elapsed)
+        if not elapsed_fs:
+            return 0.0
+        return self.busy_fs / elapsed_fs
+
     def __repr__(self) -> str:
         return f"ChannelStats(transactions={self.transactions}, words={self.words})"
 
@@ -174,6 +194,14 @@ class OsssChannel:
             self.stats.transactions += 1
             self.stats.words += words
             self.stats.busy_fs += occupancy._fs
+            tel = self.sim.telemetry
+            if tel is not None:
+                end_fs = self.sim._now_fs
+                tel.complete(
+                    "bus", self.name, master.name,
+                    end_fs - occupancy._fs, end_fs,
+                    {"master": master.name, "words": words, "wait_fs": 0},
+                )
             return
         if self._fast:
             # Every request — even one finding the medium idle — waits for
@@ -211,6 +239,15 @@ class OsssChannel:
             self._busy = False
             if self._pending:
                 self._schedule_decision()
+            tel = sim.telemetry
+            if tel is not None:
+                # Span = the granted occupancy (grant → completion), so the
+                # per-channel span durations sum exactly to ``busy_fs``.
+                tel.complete(
+                    "bus", self.name, master.name, grant_fs, now_fs,
+                    {"master": master.name, "words": words,
+                     "wait_fs": grant_fs - wait_start_fs},
+                )
             return
         # Reference path, kept verbatim for differential testing.
         request = _TransportRequest(self.sim, master, next(self._seq))
@@ -218,7 +255,8 @@ class OsssChannel:
         self._state_changed.notify(delta=True)
         wait_start_fs = self.sim._now_fs
         yield request.granted
-        self.stats.wait_fs += self.sim._now_fs - wait_start_fs
+        grant_fs = self.sim._now_fs
+        self.stats.wait_fs += grant_fs - wait_start_fs
         occupancy = self.transfer_time(words)
         arbitration_fs = self.cycle.femtoseconds * self.arbitration_cycles
         total = SimTime.intern(arbitration_fs + occupancy.femtoseconds)
@@ -229,6 +267,13 @@ class OsssChannel:
         self.stats.busy_fs += total.femtoseconds
         self._busy = False
         self._state_changed.notify(delta=True)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.complete(
+                "bus", self.name, master.name, grant_fs, self.sim._now_fs,
+                {"master": master.name, "words": words,
+                 "wait_fs": grant_fs - wait_start_fs},
+            )
 
     # -- arbitration ---------------------------------------------------------------
 
@@ -300,9 +345,7 @@ class OsssChannel:
     # -- reporting -----------------------------------------------------------------
 
     def utilisation(self, elapsed: SimTime) -> float:
-        if not elapsed:
-            return 0.0
-        return self.stats.busy_fs / elapsed.femtoseconds
+        return self.stats.utilisation(elapsed)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, masters={len(self.masters)})"

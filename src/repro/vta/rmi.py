@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import telemetry as _telemetry
 from ..core.serialisation import SerialisedPayload, serialise_call
 from ..kernel import AnyOf, SimTime, Timeout
 from .channel_base import MasterHandle, OsssChannel
@@ -79,6 +80,9 @@ class RmiClient:
         """Blocking remote call; runs in the calling process."""
         if self._master is None:
             raise RuntimeError(f"RMI client {self.name!r} invoked before any port bound")
+        sim = self.channel.sim
+        tel = sim.telemetry
+        begin_fs = sim._now_fs
         request = serialise_call(args, kwargs, self.channel.word_bits)
         request_words = HEADER_WORDS + request.words
         yield from self._transfer(request_words)
@@ -92,6 +96,19 @@ class RmiClient:
         self.calls += 1
         self.words_sent += request_words
         self.words_received += response_words
+        if tel is not None:
+            # One span per remote call: request transfer + remote execution
+            # + response transfer, on the client transactor's track.
+            tel.complete(
+                "rmi",
+                f"{self.socket.name}.{method}",
+                self.name,
+                begin_fs,
+                sim._now_fs,
+                {"channel": self.channel.name,
+                 "words_sent": request_words,
+                 "words_received": response_words},
+            )
         return result
 
     def _execute_polled(self, client, method, args, kwargs):
@@ -116,6 +133,7 @@ class RmiClient:
                 # Status-register read: a real transaction on the channel.
                 yield from self.channel.transport(self._master, self.poll_words)
                 self.polls += 1
+                _telemetry.count("rmi.polls")
                 interval_fs = min(interval_fs * 2, max_interval_fs)
         else:
             # Reference path, kept verbatim for differential testing.
@@ -128,6 +146,7 @@ class RmiClient:
                 # Status-register read: a real transaction on the channel.
                 yield from self.channel.transport(self._master, self.poll_words)
                 self.polls += 1
+                _telemetry.count("rmi.polls")
                 interval_fs = min(interval_fs * 2, max_interval_fs)
         result = yield from self.socket.finish_call(call)
         return result
@@ -151,6 +170,15 @@ class RmiClient:
                 stats.transactions += 1
                 stats.words += words
                 stats.busy_fs += occupancy._fs
+                tel = channel.sim.telemetry
+                if tel is not None:
+                    end_fs = channel.sim._now_fs
+                    tel.complete(
+                        "bus", channel.name, self._master.name,
+                        end_fs - occupancy._fs, end_fs,
+                        {"master": self._master.name, "words": words,
+                         "wait_fs": 0},
+                    )
                 return
             n_full, rem = divmod(words, chunk_limit)
             total_fs = n_full * channel._times(chunk_limit)[0]._fs
@@ -161,6 +189,18 @@ class RmiClient:
             stats.transactions += n_full + (1 if rem else 0)
             stats.words += words
             stats.busy_fs += total_fs
+            tel = channel.sim.telemetry
+            if tel is not None:
+                # One span for the whole fast-forwarded burst; its duration
+                # equals the summed chunk occupancy, so per-channel span
+                # totals still match ``ChannelStats.busy_fs`` exactly.
+                end_fs = channel.sim._now_fs
+                tel.complete(
+                    "bus", channel.name, self._master.name,
+                    end_fs - total_fs, end_fs,
+                    {"master": self._master.name, "words": words,
+                     "chunks": n_full + (1 if rem else 0), "wait_fs": 0},
+                )
             return
         if self.chunk_words is None or words <= self.chunk_words:
             yield from channel.transport(self._master, words)

@@ -136,13 +136,63 @@ class TestVcdExport:
         assert "#0" in vcd and "#5" in vcd
         assert vcd.count("r1 ") == 1 and vcd.count("r2 ") == 1
 
-    def test_vcd_skips_non_numeric(self, sim):
+    def test_vcd_skips_untraceable_values(self, sim):
         trace = Trace(sim)
-        trace.record("state", "IDLE")
+        trace.record("blob", object())
         trace.record("value", 7)
         vcd = trace.to_vcd()
-        assert "state" not in vcd
+        assert "blob" not in vcd
         assert "value" in vcd
+
+    def test_vcd_bool_probe_is_one_bit_wire(self, sim):
+        trace = Trace(sim)
+
+        def body():
+            trace.record("busy", False)
+            yield ns(3)
+            trace.record("busy", True)
+            yield ns(3)
+            trace.record("busy", False)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        vcd = trace.to_vcd(timescale="1ns")
+        assert "$var wire 1 ! busy $end" in vcd
+        lines = vcd.splitlines()
+        # Scalar changes: value glued to the identifier, no 'r' prefix.
+        assert lines[lines.index("#0") + 1] == "0!"
+        assert lines[lines.index("#3") + 1] == "1!"
+        assert lines[lines.index("#6") + 1] == "0!"
+        assert "r" + "0" not in [l[:2] for l in lines]
+
+    def test_vcd_string_probe(self, sim):
+        trace = Trace(sim)
+
+        def body():
+            trace.record("state", "IDLE")
+            yield ns(2)
+            trace.record("state", "DECODE TILE")
+
+        sim.spawn(body(), "p")
+        sim.run()
+        vcd = trace.to_vcd(timescale="1ns")
+        assert "$var string 1 ! state $end" in vcd
+        assert "sIDLE !" in vcd
+        assert "sDECODE_TILE !" in vcd
+
+    def test_vcd_mixed_probe_types_share_dump(self, sim):
+        trace = Trace(sim)
+        trace.record("busy", True)
+        trace.record("level", 0.5)
+        trace.record("state", "RUN")
+        vcd = trace.to_vcd()
+        assert "$var wire 1" in vcd
+        assert "$var real 64" in vcd
+        assert "$var string 1" in vcd
+        # Type is pinned by the first record; mismatching later records drop.
+        trace.record("busy", "oops")
+        vcd2 = trace.to_vcd()
+        assert "soops" not in vcd2
 
     def test_vcd_timescale_validated(self, sim):
         with pytest.raises(ValueError):

@@ -45,6 +45,40 @@ class TestCli:
         assert "arith" in out
         assert "88.80" in out
 
+    def test_profile_reports_processes_and_stages(self, capsys):
+        assert main(["profile", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulation profile" in out
+        assert "telemetry summary" in out
+        assert "cf. Fig. 1" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        assert main(["profile", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2"
+        assert payload["profile"]["total_steps"] > 0
+        assert "kernel.delta_cycles" in payload["metrics"]["counters"]
+        assert payload["stage_shares"]
+        assert payload["decode_ms"] > 0
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "2", "--out", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_trace_leaves_telemetry_disabled(self, tmp_path):
+        from repro import telemetry
+
+        assert main(["trace", "2", "--out", str(tmp_path / "t.json")]) == 0
+        assert telemetry.active() is None
+
     def test_unknown_version_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "9z"])

@@ -155,6 +155,33 @@ class TestStatistics:
         sim.run()
         assert bus.utilisation(sim.now) == pytest.approx(0.5)
 
+    def test_stats_as_dict_and_utilisation(self, sim):
+        bus = OpbBus(sim, CYCLE, arbitration_cycles=0, setup_cycles=0,
+                     cycles_per_word=1.0)
+        handles = [bus.connect_master(f"m{i}") for i in range(2)]
+
+        def master(handle):
+            yield from bus.transport(handle, 10)
+
+        def idler():
+            yield ns(400)
+
+        for index, handle in enumerate(handles):
+            sim.spawn(master(handle), f"m{index}")
+        sim.spawn(idler(), "idle")
+        sim.run()
+        # Two serialised 100 ns transfers; the loser waits 100 ns.
+        assert bus.stats.as_dict() == {
+            "transactions": 2,
+            "words": 20,
+            "busy_fs": ns(200).femtoseconds,
+            "wait_fs": ns(100).femtoseconds,
+        }
+        # 200 ns busy of 400 ns elapsed — SimTime and raw fs both accepted.
+        assert bus.stats.utilisation(sim.now) == pytest.approx(0.5)
+        assert bus.stats.utilisation(sim.now.femtoseconds) == pytest.approx(0.5)
+        assert bus.stats.utilisation(0) == 0.0
+
     def test_negative_word_count_rejected(self, sim):
         bus = OpbBus(sim, CYCLE)
         handle = bus.connect_master("m")
