@@ -111,6 +111,69 @@ def _cmd_loc(args) -> int:
     return 0
 
 
+def _cmd_versions(args) -> int:
+    from .design import catalog
+    from .reporting import Table
+
+    table = Table(
+        ["ver", "model", "mapping"],
+        title="Registered design descriptions (src/repro/design/catalog.py)",
+    )
+    for name in catalog.names():
+        spec = catalog.get(name)
+        if name == "6a":
+            table.add_separator()
+        table.add_row(name, spec.label, spec.summary())
+    print(table.render())
+    return 0
+
+
+def _load_specs_from_file(path: str):
+    """Load DesignSpec objects from a python file's SPEC/SPECS globals."""
+    import runpy
+
+    namespace = runpy.run_path(path, run_name="<repro-validate>")
+    specs = []
+    if "SPECS" in namespace:
+        specs.extend(namespace["SPECS"])
+    if "SPEC" in namespace:
+        specs.append(namespace["SPEC"])
+    if not specs:
+        raise SystemExit(
+            f"{path} defines neither SPEC nor SPECS; expose the DesignSpec "
+            "to validate under one of those names"
+        )
+    return specs
+
+
+def _cmd_validate(args) -> int:
+    from .design import catalog, validate_spec
+
+    if args.target == "all":
+        specs = [catalog.get(name) for name in catalog.names()]
+    elif args.target in catalog.names():
+        specs = [catalog.get(args.target)]
+    elif args.target.endswith(".py"):
+        specs = _load_specs_from_file(args.target)
+    else:
+        raise SystemExit(
+            f"unknown target {args.target!r}: expected a version id "
+            f"({', '.join(catalog.names())}), 'all', or a path to a .py "
+            "file exposing SPEC/SPECS"
+        )
+    failures = 0
+    for spec in specs:
+        errors = validate_spec(spec)
+        if errors:
+            failures += 1
+            print(f"INVALID  {spec.name} ({spec.label})")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"OK       {spec.name} ({spec.label}): {spec.summary()}")
+    return 1 if failures else 0
+
+
 def _cmd_version(args) -> int:
     from .casestudy import run_version
 
@@ -166,6 +229,8 @@ def _cmd_profile(args) -> int:
             "stage_shares": shares,
             "spans": aggregate(recorder),
         }
+        if recorder.design is not None:
+            payload["design"] = recorder.design
         json.dump(payload, sys.stdout, indent=2)
         print()
         return 0
@@ -215,14 +280,27 @@ def main(argv=None) -> int:
     p_loc = sub.add_parser("loc", help="reconstruct the code-size comparison")
     p_loc.set_defaults(func=_cmd_loc)
 
+    from .design import catalog
+
+    version_names = catalog.names()
+
     p_run = sub.add_parser("run", help="simulate one design version")
-    p_run.add_argument("name", choices=["1", "2", "3", "4", "5", "6a", "6b", "7a", "7b"])
+    p_run.add_argument("name", choices=version_names)
     p_run.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
     p_run.add_argument("--functional", action="store_true",
                        help="really decode a codestream through the model")
     p_run.set_defaults(func=_cmd_version)
 
-    version_names = ["1", "2", "3", "4", "5", "6a", "6b", "7a", "7b"]
+    p_versions = sub.add_parser(
+        "versions", help="list the registered design descriptions")
+    p_versions.set_defaults(func=_cmd_versions)
+
+    p_validate = sub.add_parser(
+        "validate", help="statically validate a design description")
+    p_validate.add_argument(
+        "target",
+        help="version id, 'all', or a .py file exposing SPEC/SPECS")
+    p_validate.set_defaults(func=_cmd_validate)
 
     p_prof = sub.add_parser("profile", help="simulate one version with "
                             "per-process and per-stage profiling")

@@ -11,25 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..design import catalog
 from .versions import APPLICATION_VERSIONS, DecodingReport
 from .vta_versions import VTA_VERSIONS
 from .workload import Workload, functional_workload, paper_workload
 
-#: All model versions, in Table 1 row order.
-ALL_VERSIONS = {**APPLICATION_VERSIONS, **VTA_VERSIONS}
+_MODEL_CLASSES = {**APPLICATION_VERSIONS, **VTA_VERSIONS}
 
-#: Table 1 row labels (paper wording).
-ROW_LABELS = {
-    "1": "SW only",
-    "2": "HW/SW not parallel",
-    "3": "HW/SW parallel (3 IDWT modules)",
-    "4": "SW parallel (cp. 2)",
-    "5": "SW & HW/SW parallel (cp. 3)",
-    "6a": "HW/SW SO connected to bus only",
-    "6b": "HW/SW SO connected to bus & P2P",
-    "7a": "SW par., HW/SW SO on bus only",
-    "7b": "SW par., HW/SW SO on bus & P2P",
-}
+#: All model versions — row order comes from the design catalog (the
+#: single source of truth for version identifiers and ordering).
+ALL_VERSIONS = {name: _MODEL_CLASSES[name] for name in catalog.names()}
+
+#: Table 1 row labels (paper wording), from the registered specs.
+ROW_LABELS = {name: catalog.get(name).label for name in catalog.names()}
 
 
 def run_version(
@@ -110,8 +104,8 @@ def build_table1(versions=None) -> Table1:
     names = list(versions) if versions is not None else list(ALL_VERSIONS)
     rows = []
     for version in names:
-        layer = "application" if version in APPLICATION_VERSIONS else "vta"
-        row = Table1Row(version=version, label=ROW_LABELS[version], layer=layer)
+        spec = catalog.get(version)
+        row = Table1Row(version=version, label=spec.label, layer=spec.mapping.layer)
         for lossless in (True, False):
             mode = "lossless" if lossless else "lossy"
             report = run_version(version, lossless)

@@ -1,6 +1,15 @@
 """The Application-Layer design versions of Table 1 (rows 1-5).
 
-Each builder assembles an executable OSSS model:
+Each class is a thin shim over the design catalog: the whole model — tasks,
+Shared Objects, hardware modules, bindings — is described declaratively by
+a :class:`~repro.design.spec.DesignSpec` in
+:mod:`repro.design.catalog` and elaborated by
+:class:`~repro.design.elaborate.ElaboratedModel`.  The classes survive as
+the stable public surface (``Version3HwSwParallel(workload)`` keeps
+working, and experiments can still subclass and override the elaboration
+hooks), but no build logic lives here any more.
+
+The versions:
 
 1. **v1** — software only: one task runs all five stages.
 2. **v2** — HW/SW, not parallel: IQ+IDWT move into a Shared Object used as
@@ -19,377 +28,70 @@ functional mode (really decoding a codestream through the same structure).
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
-import numpy as np
-
-from ..core import FunctionTask, RoundRobin, SharedObject
-from ..kernel import Simulator, join
-from .idwt_blocks import Idwt2dControl, IdwtFilterBlock, IdwtMetrics
-from .messages import WirePayload
-from .profiles import SO_GRANT_OVERHEAD, SO_PER_CLIENT_OVERHEAD
-from .shared_objects import IdwtParamsBehaviour, TileStoreBehaviour
+from ..design import catalog
+from ..design.elaborate import DecodingReport, ElaboratedModel
 from .workload import Workload
 
-
-@dataclass
-class DecodingReport:
-    """What Table 1 reports for one model version and mode."""
-
-    version: str
-    lossless: bool
-    decode_ms: float
-    idwt_ms: float
-    image: Optional[object] = None  # functional mode: the decoded Image
-    details: dict = field(default_factory=dict)
-
-    @property
-    def mode(self) -> str:
-        return "lossless" if self.lossless else "lossy"
-
-    def __repr__(self) -> str:
-        return (
-            f"DecodingReport({self.version}, {self.mode}, "
-            f"decode={self.decode_ms:.1f} ms, idwt={self.idwt_ms:.2f} ms)"
-        )
+__all__ = [
+    "APPLICATION_VERSIONS",
+    "CatalogModel",
+    "DecodingReport",
+    "Version1SwOnly",
+    "Version2Coprocessor",
+    "Version3HwSwParallel",
+    "Version4SwParallel",
+    "Version5FullParallel",
+]
 
 
-class ModelBase:
-    """Common harness: owns the simulator, tasks and result collection."""
+class CatalogModel(ElaboratedModel):
+    """A model class pinned to one registered design spec."""
 
-    version = "base"
+    #: Catalog identifier the class elaborates.
+    spec_name = ""
 
     def __init__(self, workload: Workload):
-        self.workload = workload
-        self.sim = Simulator()
-        self.tasks: list[FunctionTask] = []
-        self._finish_time_fs = 0
-        self.results: dict[int, list] = {}
-        self.idwt_metrics = IdwtMetrics()
-        self.build()
+        super().__init__(self._design_spec(), workload)
 
-    # -- model assembly (overridden) -----------------------------------------------
-
-    def build(self) -> None:
-        raise NotImplementedError
-
-    # -- execution --------------------------------------------------------------------
-
-    def run(self) -> DecodingReport:
-        for task in self.tasks:
-            task.start()
-        self.sim.spawn(self._finisher(), name="finisher")
-        self.sim.run()
-        unfinished = [t.name for t in self.tasks if not t.finished]
-        if unfinished:
-            raise RuntimeError(
-                f"{self.version}: simulation deadlocked; unfinished tasks: {unfinished}"
-            )
-        return DecodingReport(
-            version=self.version,
-            lossless=self.workload.lossless,
-            decode_ms=self._finish_time_fs / 1e12,
-            idwt_ms=self.idwt_time_ms(),
-            image=self._assemble_image(),
-            details=self.detail_stats(),
-        )
-
-    def _finisher(self):
-        """Record the instant the last software task completes."""
-        yield from join([task.process for task in self.tasks])
-        self._finish_time_fs = self.sim.now.femtoseconds
-
-    def idwt_time_ms(self) -> float:
-        return self.idwt_metrics.busy_ms
-
-    def detail_stats(self) -> dict:
-        return {}
-
-    def _assemble_image(self):
-        if not self.workload.functional or not self.results:
-            return None
-        from ..jpeg2000.image import Image, TileGrid
-
-        params = self.workload.decoder.parameters
-        grid = TileGrid(params.width, params.height, params.tile_width, params.tile_height)
-        components = [
-            np.zeros((params.height, params.width), dtype=np.int64)
-            for _ in range(params.num_components)
-        ]
-        for tile_index, planes in self.results.items():
-            for component, plane in zip(components, planes):
-                grid.insert(component, tile_index, plane)
-        return Image(components=components, bit_depth=params.bit_depth)
-
-    # -- external-memory hooks (no-ops at the Application Layer) --------------------------
-
-    def _fetch_coded_tile(self, task, tile_index: int):
-        """Load the coded input of one tile (external memory on the VTA)."""
-        return iter(())
-
-    def _store_decoded_tile(self, task, tile_index: int):
-        """Write one decoded tile back (external memory on the VTA)."""
-        return iter(())
-
-    # -- shared stage helpers ------------------------------------------------------------
-
-    def _tile_stages(self, tile_index: int):
-        if self.workload.functional:
-            return self.workload.decoder.tile_stages(tile_index)
-        return None
-
-    def _staged(self, task, stage: str, tile_index: int, duration, body=None):
-        """``task.eet`` wrapped in a per-tile telemetry stage span.
-
-        The span lands on the task's track in simulated time, so a trace
-        of any model version carries the Fig. 1 stage decomposition
-        (category ``stage``) without extra counters.
-        """
-        tel = self.sim.telemetry
-        if tel is None:
-            result = yield from task.eet(duration, body)
-            return result
-        begin_fs = self.sim._now_fs
-        result = yield from task.eet(duration, body)
-        tel.complete(
-            "stage", stage, task.name, begin_fs, self.sim._now_fs,
-            {"tile": tile_index},
-        )
-        return result
-
-    def _finish_tile_sw(self, task, tile_index, stages, planes):
-        """The software tail of the pipeline: inverse MCT + DC shift."""
-        times = self.workload.stage_times
-        planes = yield from self._staged(
-            task, "ict", tile_index, times.eet("ict"),
-            (lambda: stages.inverse_mct(planes)) if stages else None,
-        )
-        planes = yield from self._staged(
-            task, "dc", tile_index, times.eet("dc"),
-            (lambda: stages.dc_shift(planes)) if stages else None,
-        )
-        yield from self._store_decoded_tile(task, tile_index)
-        if stages is not None:
-            self.results[tile_index] = planes
+    @classmethod
+    def _design_spec(cls):
+        return catalog.get(cls.spec_name)
 
 
-class Version1SwOnly(ModelBase):
+class Version1SwOnly(CatalogModel):
     """1 — the software-only reference execution."""
 
-    version = "1"
-
-    def build(self) -> None:
-        self._idwt_fs = 0
-        self.tasks = [FunctionTask(self.sim, "sw", self._body)]
-
-    def _body(self, task):
-        times = self.workload.stage_times
-        for tile_index in self.workload.tile_indices():
-            stages = self._tile_stages(tile_index)
-            yield from self._fetch_coded_tile(task, tile_index)
-            bands = yield from self._staged(
-                task, "arith", tile_index, times.eet("arith"),
-                (lambda s=stages: s.entropy_decode()) if stages else None,
-            )
-            subbands = yield from self._staged(
-                task, "iq", tile_index, times.eet("iq"),
-                (lambda s=stages, b=bands: s.dequantise(b)) if stages else None,
-            )
-            start = self.sim.now.femtoseconds
-            planes = yield from self._staged(
-                task, "idwt", tile_index, times.eet("idwt"),
-                (lambda s=stages, sb=subbands: s.inverse_dwt(sb)) if stages else None,
-            )
-            self._idwt_fs += self.sim.now.femtoseconds - start
-            yield from self._finish_tile_sw(task, tile_index, stages, planes)
-
-    def idwt_time_ms(self) -> float:
-        return self._idwt_fs / 1e12
+    version = spec_name = "1"
 
 
-class _CoprocessorModel(ModelBase):
-    """Shared structure of versions 2 and 4 (blocking co-processor SO)."""
-
-    num_tasks = 1
-
-    def build(self) -> None:
-        self.store = TileStoreBehaviour(self.workload)
-        self.shared_object = SharedObject(
-            self.sim,
-            "hwsw_so",
-            self.store,
-            policy=RoundRobin(),
-            grant_overhead=SO_GRANT_OVERHEAD,
-            per_client_overhead=SO_PER_CLIENT_OVERHEAD,
-        )
-        self.tasks = []
-        for task_index in range(self.num_tasks):
-            task = FunctionTask(self.sim, f"sw{task_index}", self._body, task_index)
-            port = task.port("so")
-            port.bind(self.shared_object)
-            task.so_port = port
-            self.tasks.append(task)
-
-    def _body(self, task, task_index):
-        times = self.workload.stage_times
-        workload = self.workload
-        tiles = list(workload.tile_indices())[task_index :: self.num_tasks]
-        for tile_index in tiles:
-            stages = self._tile_stages(tile_index)
-            yield from self._fetch_coded_tile(task, tile_index)
-            bands = yield from self._staged(
-                task, "arith", tile_index, times.eet("arith"),
-                (lambda s=stages: s.entropy_decode()) if stages else None,
-            )
-            content = (stages, bands) if stages else None
-            payload = WirePayload(
-                workload.num_components * workload.words_per_component, content
-            )
-            result = yield from task.so_port.call("iq_idwt", tile_index, payload)
-            yield from self._finish_tile_sw(task, tile_index, stages, result.content)
-
-    def idwt_time_ms(self) -> float:
-        return self.store.coprocessor_idwt_fs / 1e12
-
-    def detail_stats(self) -> dict:
-        return {"so": self.shared_object.stats}
-
-
-class Version2Coprocessor(_CoprocessorModel):
+class Version2Coprocessor(CatalogModel):
     """2 — HW/SW not parallel: one task, blocking co-processor."""
 
-    version = "2"
-    num_tasks = 1
+    version = spec_name = "2"
 
 
-class Version4SwParallel(_CoprocessorModel):
-    """4 — SW parallel (cp. 2): four tasks, shared co-processor."""
-
-    version = "4"
-    num_tasks = 4
-
-
-class _PipelinedModel(ModelBase):
-    """Shared structure of versions 3 and 5 (Fig. 3 architecture)."""
-
-    num_tasks = 1
-
-    def build(self) -> None:
-        workload = self.workload
-        capacity = 4 * self.num_tasks
-        self.store = TileStoreBehaviour(workload, capacity_tiles=capacity)
-        self.shared_object = SharedObject(
-            self.sim,
-            "hwsw_so",
-            self.store,
-            policy=RoundRobin(),
-            grant_overhead=SO_GRANT_OVERHEAD,
-            per_client_overhead=SO_PER_CLIENT_OVERHEAD,
-        )
-        self.params = IdwtParamsBehaviour()
-        self.params_so = SharedObject(self.sim, "idwt_params_so", self.params)
-        total_jobs = workload.num_tiles * workload.num_components
-        self.control = Idwt2dControl(self.sim, "idwt2d", workload, total_jobs)
-        self.filters = [
-            IdwtFilterBlock(self.sim, "idwt53", workload, "5/3", self.idwt_metrics),
-            IdwtFilterBlock(self.sim, "idwt97", workload, "9/7", self.idwt_metrics),
-        ]
-        # The mapping/refinement hooks: the Application Layer binds ports
-        # straight to the Shared Objects; the VTA models override these to
-        # interpose RMI transactors, channels and processors — the
-        # behavioural code above them is untouched (seamless refinement).
-        self._prepare_architecture()
-        self._bind_store_port(self.control.store_port, "control")
-        self._bind_params_port(self.control.params_port, "control")
-        for block in self.filters:
-            self._bind_store_port(block.store_port, f"filter_{block.basename}")
-            self._bind_params_port(block.params_port, f"filter_{block.basename}")
-        self.control.start()
-        for block in self.filters:
-            block.start()
-        self.tasks = []
-        for task_index in range(self.num_tasks):
-            task = FunctionTask(self.sim, f"sw{task_index}", self._body, task_index)
-            port = task.port("so")
-            self._bind_store_port(port, "sw")
-            task.so_port = port
-            self._map_task(task, task_index)
-            self.tasks.append(task)
-
-    # -- mapping hooks (Application Layer defaults) ----------------------------------
-
-    def _prepare_architecture(self) -> None:
-        pass
-
-    def _bind_store_port(self, port, role: str) -> None:
-        port.bind(self.shared_object)
-
-    def _bind_params_port(self, port, role: str) -> None:
-        port.bind(self.params_so)
-
-    def _map_task(self, task, task_index: int) -> None:
-        pass
-
-    def _body(self, task, task_index):
-        times = self.workload.stage_times
-        workload = self.workload
-        tiles = list(workload.tile_indices())[task_index :: self.num_tasks]
-        # Keep one slot of headroom per task so a put never deadlocks the
-        # window (store capacity is four tiles per task).
-        window = 3
-        pending: deque = deque()
-        for tile_index in tiles:
-            while len(pending) >= window:
-                yield from self._collect(task, pending)
-            stages = self._tile_stages(tile_index)
-            yield from self._fetch_coded_tile(task, tile_index)
-            bands = yield from self._staged(
-                task, "arith", tile_index, times.eet("arith"),
-                (lambda s=stages: s.entropy_decode()) if stages else None,
-            )
-            for component in range(workload.num_components):
-                content = (stages, bands[component]) if stages else None
-                yield from task.so_port.call(
-                    "put_component",
-                    tile_index,
-                    component,
-                    WirePayload(workload.words_per_component, content),
-                )
-            pending.append((tile_index, stages))
-        while pending:
-            yield from self._collect(task, pending)
-
-    def _collect(self, task, pending: deque):
-        tile_index, stages = pending.popleft()
-        result = yield from task.so_port.call("get_result", tile_index)
-        yield from self._finish_tile_sw(task, tile_index, stages, result.content)
-
-    def detail_stats(self) -> dict:
-        return {
-            "so": self.shared_object.stats,
-            "params_so": self.params_so.stats,
-            "idwt_jobs": self.idwt_metrics.jobs,
-        }
-
-
-class Version3HwSwParallel(_PipelinedModel):
+class Version3HwSwParallel(CatalogModel):
     """3 — HW/SW parallel: pipelined tiles, three IDWT hardware blocks."""
 
-    version = "3"
-    num_tasks = 1
+    version = spec_name = "3"
 
 
-class Version5FullParallel(_PipelinedModel):
+class Version4SwParallel(CatalogModel):
+    """4 — SW parallel (cp. 2): four tasks, shared co-processor."""
+
+    version = spec_name = "4"
+
+
+class Version5FullParallel(CatalogModel):
     """5 — SW & HW/SW parallel: four tasks feeding the Fig. 3 pipeline."""
 
-    version = "5"
-    num_tasks = 4
+    version = spec_name = "5"
 
 
 #: Application-Layer registry, in Table 1 order.
-APPLICATION_VERSIONS: dict[str, Callable[[Workload], ModelBase]] = {
+APPLICATION_VERSIONS: dict[str, Callable[[Workload], ElaboratedModel]] = {
     "1": Version1SwOnly,
     "2": Version2Coprocessor,
     "3": Version3HwSwParallel,

@@ -1,7 +1,7 @@
 """The Virtual Target Architecture mappings of Table 1 (rows 6a-7b).
 
-The behavioural models are versions 3 and 5 unchanged; these classes only
-override the mapping hooks:
+The behavioural models are versions 3 and 5 unchanged; the specs differ
+only in their *mapping* section:
 
 * **6a** — version 3 mapped; every link to the HW/SW Shared Object runs
   over one shared OPB bus.
@@ -15,30 +15,32 @@ Links to the IDWT-params Shared Object are always point-to-point, and the
 tasks always map onto processors — exactly the refinement steps listed in
 section 3.2 of the paper (processor mapping, object sockets, data
 serialisation, explicit memory insertion, channel mapping).
+
+Like :mod:`repro.casestudy.versions`, these classes are thin shims: the
+mappings live as data in :mod:`repro.design.catalog`, elaborated by
+:class:`~repro.design.elaborate.ElaboratedModel`.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from ..vta import (
-    DdrMemoryController,
-    ObjectSocket,
-    OpbBus,
-    P2PChannel,
-    RmiClient,
-    SoftwareProcessor,
-    ml401,
-)
-from .profiles import (
-    BRAM_EXTRA_CYCLES_PER_SAMPLE,
-    OPB_ARBITRATION_CYCLES,
-    OPB_CYCLES_PER_WORD,
-    P2P_CYCLES_PER_WORD,
-    RMI_CHUNK_WORDS,
-)
-from .versions import Version3HwSwParallel, Version5FullParallel
+from ..design import catalog
+from ..design.elaborate import ElaboratedModel
+from .profiles import BRAM_EXTRA_CYCLES_PER_SAMPLE, RMI_CHUNK_WORDS
 from .workload import Workload
+
+__all__ = [
+    "CatalogVtaModel",
+    "VTA_COMPUTE_INFLATION",
+    "VTA_RAM_SECONDS_PER_WORD",
+    "VTA_VERSIONS",
+    "Version6aBusOnly",
+    "Version6bBusAndP2p",
+    "Version7aBusOnly",
+    "Version7bBusAndP2p",
+    "scaled_parallel_version",
+]
 
 #: Explicit-memory insertion: the hardware IQ/IDWT datapaths read and
 #: write single-port block RAM instead of distributed registers, roughly
@@ -46,146 +48,51 @@ from .workload import Workload
 VTA_COMPUTE_INFLATION = 1.0 + BRAM_EXTRA_CYCLES_PER_SAMPLE
 
 #: Block-RAM access time charged inside the Shared Object per stored word.
-VTA_RAM_SECONDS_PER_WORD = 10e-9  # one 100 MHz cycle
+VTA_RAM_SECONDS_PER_WORD = catalog.RAM_SECONDS_PER_WORD
 
 
-class _VtaMapping:
-    """Mixin implementing the mapping hooks over a version 3/5 model."""
+class CatalogVtaModel(ElaboratedModel):
+    """A VTA model class pinned to one registered design spec."""
 
-    #: Set by subclasses: do the IDWT blocks talk to the store over P2P?
-    idwt_links_p2p = False
+    spec_name = ""
 
-    def _prepare_architecture(self) -> None:
-        self.platform = ml401()
-        cycle = self.platform.clock_period
-        self.opb = OpbBus(
-            self.sim,
-            cycle,
-            cycles_per_word=OPB_CYCLES_PER_WORD,
-            arbitration_cycles=OPB_ARBITRATION_CYCLES,
-        )
-        self.store_socket = ObjectSocket(self.shared_object)
-        self.params_socket = ObjectSocket(self.params_so)
-        self.processors = [
-            SoftwareProcessor(self.sim, f"cpu{i}", self.platform.budget)
-            for i in range(self.num_tasks)
-        ]
-        # External DDR behind the multi-channel memory controller: the
-        # coded input and the decoded output live there (paper Fig. 2/4).
-        self.ddr = DdrMemoryController(self.sim, self.platform.clock_period)
-        self._ddr_masters = {}
-        self._p2p_count = 0
-        # Explicit memory insertion + datapath refinement.  The IQ stage
-        # streams through the RAM port at one sample per cycle either way,
-        # so only the filter datapaths pay the inflation.
-        self.store.ram_seconds_per_word = VTA_RAM_SECONDS_PER_WORD
-        self.store.port_setup = self.platform.budget.cycles(10)
-        self.store.iq_streaming = True
-        for block in self.filters:
-            block.compute_time_scale = VTA_COMPUTE_INFLATION
+    def __init__(self, workload: Workload):
+        super().__init__(self._design_spec(), workload)
 
-    def _new_p2p(self, label: str) -> P2PChannel:
-        self._p2p_count += 1
-        return P2PChannel(
-            self.sim,
-            self.platform.clock_period,
-            name=f"p2p_{label}",
-            cycles_per_word=P2P_CYCLES_PER_WORD,
-        )
-
-    def _bind_store_port(self, port, role: str) -> None:
-        # OPB arbitration is static priority with the processors on top —
-        # in 7a the four CPUs' burst traffic therefore starves the IDWT
-        # transfers, which is exactly why its IDWT time exceeds 6a's.
-        port.priority = 0 if role == "sw" else (1 if role == "control" else 2)
-        if role == "sw" or not self.idwt_links_p2p:
-            channel = self.opb
-        else:
-            channel = self._new_p2p(f"{role}_store")
-        # Bus-attached clients have no interrupt wiring: a guard-blocked
-        # call polls the object's status register over the bus.  Dedicated
-        # point-to-point links signal readiness directly.
-        polling = channel is self.opb
-        port.bind(
-            RmiClient(
-                channel,
-                self.store_socket,
-                name=f"rmi_store_{role}_{port.name}",
-                chunk_words=RMI_CHUNK_WORDS,
-                poll_interval=self.platform.budget.cycles(100) if polling else None,
-            )
-        )
-
-    def _bind_params_port(self, port, role: str) -> None:
-        # Parameter links are always dedicated point-to-point channels.
-        port.bind(
-            RmiClient(
-                self._new_p2p(f"{role}_params"),
-                self.params_socket,
-                name=f"rmi_params_{role}",
-                chunk_words=RMI_CHUNK_WORDS,
-            )
-        )
-
-    def _map_task(self, task, task_index: int) -> None:
-        self.processors[task_index].add_sw_task(task)
-        self._ddr_masters[task.basename] = self.ddr.connect_master(
-            f"ddr[{task.name}]"
-        )
-
-    #: Compressed input is roughly a quarter of the raw tile size.
-    CODED_WORDS_RATIO = 0.25
-
-    def _fetch_coded_tile(self, task, tile_index: int):
-        words = int(
-            self.workload.num_components
-            * self.workload.words_per_component
-            * self.CODED_WORDS_RATIO
-        )
-        yield from self.ddr.read_burst(self._ddr_masters[task.basename], words)
-
-    def _store_decoded_tile(self, task, tile_index: int):
-        words = self.workload.num_components * self.workload.words_per_component
-        yield from self.ddr.write_burst(self._ddr_masters[task.basename], words)
-
-    def detail_stats(self) -> dict:
-        stats = super().detail_stats()
-        stats["opb"] = self.opb.stats
-        stats["ddr"] = self.ddr.stats
-        stats["cpu_busy_ms"] = [cpu.busy_fs / 1e12 for cpu in self.processors]
-        return stats
+    @classmethod
+    def _design_spec(cls):
+        # ``RMI_CHUNK_WORDS`` is resolved at construction time so
+        # experiments can rebind the module global and sweep the RMI
+        # serialisation chunk (see benchmarks/test_ablations.py).
+        return catalog.with_chunk_words(catalog.get(cls.spec_name), RMI_CHUNK_WORDS)
 
 
-class Version6aBusOnly(_VtaMapping, Version3HwSwParallel):
+class Version6aBusOnly(CatalogVtaModel):
     """6a — version 3 on the VTA, HW/SW SO reachable via the OPB only."""
 
-    version = "6a"
-    idwt_links_p2p = False
+    version = spec_name = "6a"
 
 
-class Version6bBusAndP2p(_VtaMapping, Version3HwSwParallel):
+class Version6bBusAndP2p(CatalogVtaModel):
     """6b — version 3 on the VTA, IDWT links on point-to-point channels."""
 
-    version = "6b"
-    idwt_links_p2p = True
+    version = spec_name = "6b"
 
 
-class Version7aBusOnly(_VtaMapping, Version5FullParallel):
+class Version7aBusOnly(CatalogVtaModel):
     """7a — version 5 on the VTA, four processors sharing the OPB."""
 
-    version = "7a"
-    idwt_links_p2p = False
+    version = spec_name = "7a"
 
 
-class Version7bBusAndP2p(_VtaMapping, Version5FullParallel):
+class Version7bBusAndP2p(CatalogVtaModel):
     """7b — version 5 on the VTA, IDWT links on point-to-point channels."""
 
-    version = "7b"
-    idwt_links_p2p = True
+    version = spec_name = "7b"
 
 
 #: VTA registry, in Table 1 order.
-VTA_VERSIONS: dict[str, Callable[[Workload], object]] = {
+VTA_VERSIONS: dict[str, Callable[[Workload], ElaboratedModel]] = {
     "6a": Version6aBusOnly,
     "6b": Version6bBusAndP2p,
     "7a": Version7aBusOnly,
@@ -202,10 +109,18 @@ def scaled_parallel_version(num_tasks: int, idwt_links_p2p: bool):
     """
     if num_tasks < 1:
         raise ValueError("at least one software task is required")
-    base = Version7bBusAndP2p if idwt_links_p2p else Version7aBusOnly
     suffix = "b" if idwt_links_p2p else "a"
+
+    def _design_spec(cls):
+        return catalog.with_chunk_words(
+            catalog.scaled_vta_spec(num_tasks, idwt_links_p2p), RMI_CHUNK_WORDS
+        )
+
     return type(
         f"Scaled7{suffix}x{num_tasks}",
-        (base,),
-        {"num_tasks": num_tasks, "version": f"7{suffix}-n{num_tasks}"},
+        (CatalogVtaModel,),
+        {
+            "version": f"7{suffix}-n{num_tasks}",
+            "_design_spec": classmethod(_design_spec),
+        },
     )

@@ -115,20 +115,42 @@ class SystemResult:
 def synthesise_system(
     num_processors: int = 1,
     platform: Optional[TargetPlatform] = None,
+    design=None,
 ) -> SystemResult:
-    """Synthesise the whole JPEG 2000 hardware subsystem + platform files."""
+    """Synthesise the whole JPEG 2000 hardware subsystem + platform files.
+
+    The block layout (bus windows, P2P partners), the software task list,
+    and the per-object method sets all come from a declarative design spec
+    (:mod:`repro.design`): by default the catalog's P2P mapping with
+    *num_processors* software processors (version 6b, or the scaled 7b
+    mapping for more than one).  Pass *design* to synthesise a custom
+    mapping — its ``synthesis_blocks`` section is the hand-off contract.
+    """
+    from ..design import catalog, check_spec
+    from ..design.spec import SHARED_OBJECT_BEHAVIOURS
+
+    if design is None:
+        design = (
+            catalog.get("6b")
+            if num_processors == 1
+            else catalog.scaled_vta_spec(num_processors, idwt_links_p2p=True)
+        )
+    check_spec(design)
+    num_processors = len(design.mapping.processors)
     platform = platform or ml401()
     blocks = [
         synthesise_block(build_idwt53(), platform),
         synthesise_block(build_idwt97(), platform),
     ]
     specs = [
-        HardwareBlockSpec("hwsw_so", base_address=0x4000_0000, p2p_partner="idwt53"),
-        HardwareBlockSpec("idwt53", base_address=0x4001_0000, p2p_partner="hwsw_so"),
-        HardwareBlockSpec("idwt97", base_address=0x4002_0000, p2p_partner="hwsw_so"),
-        HardwareBlockSpec("idwt_params_so", base_address=0x4003_0000),
+        HardwareBlockSpec(
+            block.name,
+            base_address=block.base_address,
+            p2p_partner=block.p2p_partner,
+        )
+        for block in design.mapping.synthesis_blocks
     ]
-    tasks = [f"sw{i}" for i in range(num_processors)]
+    tasks = [task.name for task in design.tasks]
     return SystemResult(
         platform=platform,
         blocks=blocks,
@@ -137,13 +159,10 @@ def synthesise_system(
         software_c=emit_software_subsystem(
             tasks,
             objects={
-                "hwsw_so": [
-                    "put_component",
-                    "get_result",
-                    "iq_idwt",
-                    "claim_component",
-                ],
-                "idwt_params_so": ["put_job", "get_job_53", "get_job_97", "shutdown"],
+                shared.name: list(
+                    SHARED_OBJECT_BEHAVIOURS[shared.behaviour].sw_methods
+                )
+                for shared in design.shared_objects
             },
         ),
     )

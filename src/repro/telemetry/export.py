@@ -26,13 +26,18 @@ FS_PER_US = 1_000_000_000
 
 def to_chrome_trace(recorder: TelemetryRecorder, label: str = "repro") -> dict:
     """The recorder's spans as a Chrome trace-event JSON object."""
+    process_args: dict = {"name": label}
+    if recorder.design is not None:
+        # Design identity from the elaborated spec: lets a Perfetto user
+        # tell apart (and diff) traces of different mappings.
+        process_args["design"] = dict(recorder.design)
     events: list[dict] = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": 1,
             "tid": 0,
-            "args": {"name": label},
+            "args": process_args,
         }
     ]
     tids: dict[str, int] = {}
@@ -59,11 +64,14 @@ def to_chrome_trace(recorder: TelemetryRecorder, label: str = "repro") -> dict:
         if span.attrs:
             event["args"] = dict(span.attrs)
         events.append(event)
-    return {
+    payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "repro_metrics": recorder.metrics.as_dict(),
     }
+    if recorder.design is not None:
+        payload["repro_design"] = dict(recorder.design)
+    return payload
 
 
 def write_chrome_trace(recorder: TelemetryRecorder, path,

@@ -84,6 +84,15 @@ class TelemetryRecorder:
         self.metrics = MetricsRegistry()
         self.spans: list[Span] = []
         self._sim = None
+        #: Spec-derived identity of the design under measurement (set by
+        #: the elaborator); exporters label traces with it so recordings
+        #: of different mappings stay comparable.  Last elaboration wins.
+        self.design: Optional[dict] = None
+
+    def set_design(self, name: str, label: Optional[str] = None,
+                   layer: Optional[str] = None) -> None:
+        """Tag this session with the elaborated design's identity."""
+        self.design = {"name": name, "label": label, "layer": layer}
 
     # -- clock ---------------------------------------------------------------
 

@@ -48,6 +48,21 @@ def test_quality_scalability(monkeypatch, tmp_path, capsys):
     assert "1 / 5" in out and "5 / 5" in out
 
 
+def test_custom_mapping_quick(monkeypatch, tmp_path, capsys):
+    monkeypatch.setattr(sys, "argv", ["custom_mapping.py", "--quick"])
+    out = run_example("custom_mapping.py", monkeypatch, tmp_path, capsys)
+    assert "spec '7b-2cpu' is valid" in out
+    assert "2 cpus" in out
+    assert "simulated 7b-2cpu end-to-end" in out
+
+
+def test_custom_mapping_spec_validates_via_cli(capsys):
+    from repro.__main__ import main
+
+    assert main(["validate", str(EXAMPLES / "custom_mapping.py")]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
 @pytest.mark.slow
 def test_design_space_exploration(monkeypatch, tmp_path, capsys):
     out = run_example("design_space_exploration.py", monkeypatch, tmp_path, capsys)

@@ -1,0 +1,122 @@
+"""Static validation: every catalog spec is clean, broken specs are not."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.design import SpecValidationError, catalog, check_spec, validate_spec
+
+
+def _with_mapping(spec, **changes):
+    return replace(spec, mapping=replace(spec.mapping, **changes))
+
+
+class TestCatalogSpecsAreClean:
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_registered_spec_validates(self, name):
+        assert validate_spec(catalog.get(name)) == []
+
+    def test_scaled_specs_validate(self):
+        for p2p in (False, True):
+            assert validate_spec(catalog.scaled_vta_spec(2, p2p)) == []
+
+
+class TestRejections:
+    def test_unmapped_task(self):
+        spec = catalog.get("7b")
+        broken = _with_mapping(spec, processors=spec.mapping.processors[:-1])
+        errors = validate_spec(broken)
+        assert any(
+            "task 'sw3' is not mapped to any processor" in error
+            for error in errors
+        )
+        assert any("ProcessorSpec.tasks" in error for error in errors)
+
+    def test_task_mapped_twice(self):
+        spec = catalog.get("6b")
+        doubled = spec.mapping.processors + (
+            replace(spec.mapping.processors[0], name="cpu_extra"),
+        )
+        errors = validate_spec(_with_mapping(spec, processors=doubled))
+        assert any("mapped to 2 processors" in error for error in errors)
+
+    def test_dangling_channel_endpoint(self):
+        spec = catalog.get("6b")
+        links = tuple(
+            replace(link, channel="ghost") if link.client == "idwt53" and
+            link.port == "store" else link
+            for link in spec.mapping.links
+        )
+        errors = validate_spec(_with_mapping(spec, links=links))
+        assert any("dangling channel endpoint" in error for error in errors)
+        assert any("'ghost'" in error for error in errors)
+
+    def test_unbound_port(self):
+        spec = catalog.get("6b")
+        links = tuple(
+            link for link in spec.mapping.links
+            if not (link.client == "idwt97" and link.port == "params")
+        )
+        errors = validate_spec(_with_mapping(spec, links=links))
+        assert any("port idwt97.params is unbound" in error for error in errors)
+
+    def test_over_capacity_memory(self):
+        spec = catalog.get("6b")
+        memory = replace(spec.memories[0], depth_words=1000)
+        errors = validate_spec(replace(spec, memories=(memory,)))
+        assert any("only 1000 words deep" in error for error in errors)
+        assert any(
+            "increase MemorySpec.depth_words" in error for error in errors
+        )
+
+    def test_guarded_object_over_bus_needs_polling(self):
+        spec = catalog.get("6a")
+        links = tuple(
+            replace(link, poll_cycles=None) if link.client == "sw0" else link
+            for link in spec.mapping.links
+        )
+        errors = validate_spec(_with_mapping(spec, links=links))
+        assert any("needs poll_cycles" in error for error in errors)
+
+    def test_polling_on_p2p_rejected(self):
+        spec = catalog.get("6b")
+        links = tuple(
+            replace(link, poll_cycles=100)
+            if link.channel and link.channel.startswith("p2p_control_store")
+            else link
+            for link in spec.mapping.links
+        )
+        errors = validate_spec(_with_mapping(spec, links=links))
+        assert any("drop the polling interval" in error for error in errors)
+
+    def test_duplicate_names(self):
+        spec = catalog.get("4")
+        tasks = spec.tasks[:-1] + (replace(spec.tasks[0],),)
+        errors = validate_spec(replace(spec, tasks=tasks))
+        assert any("duplicate name 'sw0'" in error for error in errors)
+
+    def test_application_layer_rejects_vta_refinements(self):
+        spec = catalog.get("3")
+        vta_spec = catalog.get("6b")
+        errors = validate_spec(
+            _with_mapping(spec, channels=vta_spec.mapping.channels[:1])
+        )
+        assert any("vta refinements" in error for error in errors)
+
+    def test_check_spec_raises_with_bulleted_message(self):
+        spec = catalog.get("7b")
+        broken = _with_mapping(spec, processors=())
+        with pytest.raises(SpecValidationError) as excinfo:
+            check_spec(broken)
+        assert excinfo.value.spec_name == "7b"
+        assert len(excinfo.value.errors) >= 4  # one per unmapped task
+        assert "\n  - " in str(excinfo.value)
+
+    def test_elaboration_refuses_invalid_spec(self):
+        from repro.casestudy.workload import paper_workload
+        from repro.design import elaborate_design
+
+        spec = catalog.get("6b")
+        broken = _with_mapping(spec, processors=())
+        with pytest.raises(SpecValidationError):
+            elaborate_design(broken, paper_workload(True))

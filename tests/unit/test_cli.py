@@ -79,6 +79,66 @@ class TestCli:
         assert main(["trace", "2", "--out", str(tmp_path / "t.json")]) == 0
         assert telemetry.active() is None
 
+    def test_versions_lists_catalog(self, capsys):
+        assert main(["versions"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered design descriptions" in out
+        assert "SW only" in out
+        assert "HW/SW SO connected to bus & P2P" in out
+        assert "4 cpus" in out
+
+    def test_validate_all(self, capsys):
+        assert main(["validate", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 9
+        assert "INVALID" not in out
+
+    def test_validate_one_version(self, capsys):
+        assert main(["validate", "6b"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK")
+        assert "6 p2p" in out
+
+    def test_validate_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "myspec.py"
+        spec_file.write_text(
+            "from repro.design import catalog\n"
+            "SPEC = catalog.scaled_vta_spec(2, idwt_links_p2p=True)\n"
+        )
+        assert main(["validate", str(spec_file)]) == 0
+        assert "7b-n2" in capsys.readouterr().out
+
+    def test_validate_broken_spec_file_fails(self, capsys, tmp_path):
+        spec_file = tmp_path / "broken.py"
+        spec_file.write_text(
+            "from dataclasses import replace\n"
+            "from repro.design import catalog\n"
+            "spec = catalog.get('7b')\n"
+            "SPEC = replace(spec, mapping=replace(spec.mapping, processors=()))\n"
+        )
+        assert main(["validate", str(spec_file)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "not mapped to any processor" in out
+
+    def test_validate_file_without_spec_rejected(self, tmp_path):
+        spec_file = tmp_path / "empty.py"
+        spec_file.write_text("x = 1\n")
+        with pytest.raises(SystemExit, match="neither SPEC nor SPECS"):
+            main(["validate", str(spec_file)])
+
+    def test_validate_unknown_target_rejected(self):
+        with pytest.raises(SystemExit, match="unknown target"):
+            main(["validate", "9z"])
+
+    def test_profile_json_carries_design_identity(self, capsys):
+        import json
+
+        assert main(["profile", "6b", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"]["name"] == "6b"
+        assert payload["design"]["layer"] == "vta"
+
     def test_unknown_version_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "9z"])
