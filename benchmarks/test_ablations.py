@@ -2,229 +2,141 @@
 
 Not paper tables — these quantify the mechanisms our reproduction claims
 are responsible for the Table 1 effects: per-word bus cost, RMI chunking,
-bus polling, arbitration policy and the stream-pipeline FIFO depth.
+bus polling, the stream-pipeline FIFO depth, the co-processor speed
+assumption, the Shared Object's bus tier, and quality-layer decoding.
+
+Every tweak that used to be applied by hand here (module-global
+rebinding, post-construction pokes, bus-swap subclasses) is now a
+declarative request option interpreted by ``repro.experiments.execute``;
+this module asserts the relations and re-emits the artifacts.
 """
 
-import pytest
-
-from repro.casestudy import paper_workload, run_version
-from repro.casestudy.vta_versions import Version6aBusOnly, Version7aBusOnly
-from repro.reporting import Table
+from repro.experiments import execute_request, registry
+from repro.experiments.defs import CHUNK_WORDS, FIFO_DEPTHS, HW_SPEEDUP_FACTORS
 
 
-@pytest.fixture(scope="module")
-def workload():
-    return paper_workload(True)
+def _first_request(experiment_id):
+    return registry.get(experiment_id).requests()[0]
 
 
-def test_ablation_opb_burst_support(benchmark, workload, emit):
+def test_ablation_opb_burst_support(benchmark, engine, emit):
     """What if the OPB peripherals had supported sequential-address bursts?
 
     The paper's 6a suffers because they do not; enabling bursts in the
     model shows how much of the inflation is the per-word handshake.
     """
-
-    def run(burst):
-        model = Version6aBusOnly(workload)
-        if burst:
-            model.opb.burst_threshold_words = 8
-        report = model.run()
-        return report, model.idwt_metrics.busy_ms
-
-    baseline = benchmark.pedantic(lambda: run(False), iterations=1, rounds=1)
-    _, idwt_no_burst = baseline
-    _, idwt_burst = run(True)
-    table = Table(
-        ["OPB mode", "IDWT time lossless [ms]"],
-        title="Ablation - OPB burst support (model 6a)",
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_opb_burst")),
+        iterations=1, rounds=1,
     )
-    table.add_row("single transfers (paper platform)", idwt_no_burst)
-    table.add_row("seqAddr bursts enabled", idwt_burst)
-    emit(table, "ablation_opb_burst")
-    assert idwt_burst < idwt_no_burst  # bursts recover a chunk of the loss
+    outcome = engine.run_experiment("ablation_opb_burst")
+    emit(outcome.tables()["ablation_opb_burst"], "ablation_opb_burst")
+    payloads = outcome.payloads
+    # bursts recover a chunk of the loss
+    assert (
+        payloads["sim:6a:lossless:burst"]["idwt_ms"]
+        < payloads["sim:6a:lossless"]["idwt_ms"]
+    )
 
 
-def test_ablation_rmi_chunk_size(benchmark, workload, emit):
+def test_ablation_rmi_chunk_size(benchmark, engine, emit):
     """Transfer chunking trades bus fairness against per-chunk overhead."""
-    from repro.casestudy import vta_versions
-
-    def run(chunk):
-        original = vta_versions.RMI_CHUNK_WORDS
-        try:
-            vta_versions.RMI_CHUNK_WORDS = chunk
-            model = Version7aBusOnly(workload)
-        finally:
-            vta_versions.RMI_CHUNK_WORDS = original
-        report = model.run()
-        return chunk, report.decode_ms, model.idwt_metrics.busy_ms
-
-    results = [benchmark.pedantic(lambda: run(32), iterations=1, rounds=1)]
-    for chunk in (128, 1024):
-        results.append(run(chunk))
-    table = Table(
-        ["chunk [words]", "decode [ms]", "IDWT [ms]"],
-        title="Ablation - RMI transfer chunking (model 7a)",
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_chunking")),
+        iterations=1, rounds=1,
     )
-    for row in results:
-        table.add_row(*row)
-    emit(table, "ablation_chunking")
+    outcome = engine.run_experiment("ablation_chunking")
+    emit(outcome.tables()["ablation_chunking"], "ablation_chunking")
+    payloads = outcome.payloads
     # Coarse chunks starve the IDWT longer per grant.
-    assert results[-1][2] >= results[0][2] * 0.8
+    finest = payloads[f"sim:7a:lossless:chunk{CHUNK_WORDS[0]}"]["idwt_ms"]
+    coarsest = payloads[f"sim:7a:lossless:chunk{CHUNK_WORDS[-1]}"]["idwt_ms"]
+    assert coarsest >= finest * 0.8
 
 
-def test_ablation_grant_polling(benchmark, workload, emit):
+def test_ablation_grant_polling(benchmark, engine, emit):
     """Bus polling of guarded calls: the 7a-over-6a mechanism."""
-
-    def run(poll):
-        model = Version7aBusOnly(workload)
-        if not poll:
-            for task in model.tasks:
-                task.so_port._provider.poll_interval = None
-            model.control.store_port._provider.poll_interval = None
-            for block in model.filters:
-                block.store_port._provider.poll_interval = None
-        report = model.run()
-        return report.decode_ms, model.idwt_metrics.busy_ms
-
-    with_poll = benchmark.pedantic(lambda: run(True), iterations=1, rounds=1)
-    without_poll = run(False)
-    table = Table(
-        ["status polling", "decode [ms]", "IDWT [ms]"],
-        title="Ablation - RMI status polling on the OPB (model 7a)",
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_polling")),
+        iterations=1, rounds=1,
     )
-    table.add_row("enabled (no interrupt wiring)", *with_poll)
-    table.add_row("disabled (ideal notification)", *without_poll)
-    emit(table, "ablation_polling")
-    assert with_poll[1] >= without_poll[1]  # polling can only hurt the IDWT
+    outcome = engine.run_experiment("ablation_polling")
+    emit(outcome.tables()["ablation_polling"], "ablation_polling")
+    payloads = outcome.payloads
+    # polling can only hurt the IDWT
+    assert (
+        payloads["sim:7a:lossless"]["idwt_ms"]
+        >= payloads["sim:7a:lossless:nopoll"]["idwt_ms"]
+    )
 
 
-def test_ablation_fifo_depth(benchmark, workload, emit):
+def test_ablation_fifo_depth(benchmark, engine, emit):
     """Stream-pipeline depth of the filter blocks (double buffering)."""
-    from repro.casestudy.versions import Version3HwSwParallel
-
-    def run(depth):
-        model = Version3HwSwParallel(workload)
-        for block in model.filters:
-            block._in_fifo.capacity = depth
-            block._out_fifo.capacity = depth
-        model.run()
-        return depth, model.idwt_metrics.busy_ms
-
-    results = [benchmark.pedantic(lambda: run(1), iterations=1, rounds=1)]
-    for depth in (4, 16):
-        results.append(run(depth))
-    table = Table(
-        ["FIFO depth", "IDWT time [ms]"],
-        title="Ablation - filter pipeline FIFO depth (model 3)",
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_fifo_depth")),
+        iterations=1, rounds=1,
     )
-    for row in results:
-        table.add_row(*row)
-    emit(table, "ablation_fifo_depth")
-    assert results[1][1] <= results[0][1] * 1.05  # deeper never much worse
+    outcome = engine.run_experiment("ablation_fifo_depth")
+    emit(outcome.tables()["ablation_fifo_depth"], "ablation_fifo_depth")
+    payloads = outcome.payloads
+    shallow = payloads[f"sim:3:lossless:fifo{FIFO_DEPTHS[0]}"]["idwt_ms"]
+    deeper = payloads[f"sim:3:lossless:fifo{FIFO_DEPTHS[1]}"]["idwt_ms"]
+    assert deeper <= shallow * 1.05  # deeper never much worse
 
 
-def test_ablation_hw_speedup_assumption(benchmark, emit):
+def test_ablation_hw_speedup_assumption(benchmark, engine, emit):
     """Sensitivity of version 2's speed-up to the HW co-processor factor."""
-    from repro.casestudy import profiles
-    from repro.casestudy.versions import Version1SwOnly, Version2Coprocessor
-
-    def run(factor):
-        original = profiles.HW_COPROCESSOR_SPEEDUP
-        try:
-            profiles.HW_COPROCESSOR_SPEEDUP = factor
-            # the behaviours read the constant through the module, so a
-            # fresh workload+model pair picks it up
-            workload = paper_workload(True)
-            v1 = Version1SwOnly(workload).run().decode_ms
-            v2 = Version2Coprocessor(workload).run().decode_ms
-            return factor, v1 / v2
-        finally:
-            profiles.HW_COPROCESSOR_SPEEDUP = original
-
-    rows = [benchmark.pedantic(lambda: run(4.0), iterations=1, rounds=1)]
-    for factor in (8.0, 16.0, 32.0):
-        rows.append(run(factor))
-    table = Table(
-        ["HW speed-up factor", "v2 overall speed-up (lossless)"],
-        title="Ablation - co-processor speed assumption vs the ~10% bound",
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_hw_speedup")),
+        iterations=1, rounds=1,
     )
-    for row in rows:
-        table.add_row(*row)
-    emit(table, "ablation_hw_speedup")
+    outcome = engine.run_experiment("ablation_hw_speedup")
+    emit(outcome.tables()["ablation_hw_speedup"], "ablation_hw_speedup")
+    payloads = outcome.payloads
+
+    def overall(factor):
+        v1 = payloads[f"sim:1:lossless:hw{factor:g}"]["decode_ms"]
+        v2 = payloads[f"sim:2:lossless:hw{factor:g}"]["decode_ms"]
+        return v1 / v2
+
     # Amdahl: overall speed-up saturates near 1/(1 - 0.087) = 1.095.
-    assert rows[-1][1] < 1.10
-    assert rows[0][1] < rows[-1][1]
+    assert overall(HW_SPEEDUP_FACTORS[-1]) < 1.10
+    assert overall(HW_SPEEDUP_FACTORS[0]) < overall(HW_SPEEDUP_FACTORS[-1])
 
 
-def test_ablation_plb_instead_of_opb(benchmark, workload, emit):
+def test_ablation_plb_instead_of_opb(benchmark, engine, emit):
     """What if the Shared Object sat on the fast PLB tier instead?
 
-    The OSSS Channel abstraction makes the swap a one-line change; the
+    The OSSS Channel abstraction makes the swap a one-option change; the
     result shows the 2008 platform's OPB was the real bottleneck of the
     bus-only mapping — a PLB-attached object nearly matches dedicated
     point-to-point links.
     """
-    from repro.casestudy.vta_versions import Version6bBusAndP2p
-    from repro.vta import PlbBus
-
-    class Version6aPlb(Version6aBusOnly):
-        version = "6a-plb"
-
-        def _prepare_architecture(self):
-            super()._prepare_architecture()
-            self.opb = PlbBus(self.sim, self.platform.clock_period)
-
-    def run(model_cls):
-        model = model_cls(workload)
-        model.run()
-        return model.idwt_metrics.busy_ms
-
-    opb_ms = benchmark.pedantic(lambda: run(Version6aBusOnly), iterations=1, rounds=1)
-    plb_ms = run(Version6aPlb)
-    p2p_ms = run(Version6bBusAndP2p)
-    table = Table(
-        ["shared-object attachment", "IDWT time lossless [ms]"],
-        title="Ablation - bus tier of the HW/SW Shared Object (model 6a)",
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_plb")),
+        iterations=1, rounds=1,
     )
-    table.add_row("OPB (paper platform)", opb_ms)
-    table.add_row("PLB (64-bit, pipelined)", plb_ms)
-    table.add_row("point-to-point links (6b)", p2p_ms)
-    emit(table, "ablation_plb")
+    outcome = engine.run_experiment("ablation_plb")
+    emit(outcome.tables()["ablation_plb"], "ablation_plb")
+    payloads = outcome.payloads
+    opb_ms = payloads["sim:6a:lossless"]["idwt_ms"]
+    plb_ms = payloads["sim:6a:lossless:plb"]["idwt_ms"]
+    p2p_ms = payloads["sim:6b:lossless"]["idwt_ms"]
     assert plb_ms < opb_ms / 2
     assert plb_ms > p2p_ms * 0.8  # dedicated links still win
 
 
-def test_ablation_quality_layers(benchmark, emit):
+def test_ablation_quality_layers(benchmark, engine, emit):
     """Extension: layered codestreams trade entropy work for quality."""
-    from repro.jpeg2000 import (
-        CodingParameters,
-        Jpeg2000Decoder,
-        encode_image,
-        synthetic_image,
+    benchmark.pedantic(
+        lambda: execute_request(_first_request("ablation_layers")),
+        iterations=1, rounds=1,
     )
-
-    image = synthetic_image(64, 64, 3, seed=7)
-    params = CodingParameters(
-        width=64, height=64, num_components=3, tile_width=32, tile_height=32,
-        num_levels=3, lossless=False, num_layers=5, base_step=1 / 8,
-    )
-    codestream = encode_image(image, params)
-
-    def decode_prefix(count):
-        decoder = Jpeg2000Decoder(codestream, max_layers=count)
-        decoded = decoder.decode()
-        return decoded.psnr(image), decoder.ops["arith"]
-
-    benchmark.pedantic(lambda: decode_prefix(1), iterations=1, rounds=1)
-    table = Table(
-        ["layers", "PSNR [dB]", "entropy ops"],
-        title="Extension - quality-layer prefix decoding (one codestream)",
-    )
-    rows = [decode_prefix(count) for count in range(1, 6)]
-    for count, (psnr, ops) in enumerate(rows, start=1):
-        table.add_row(f"{count}/5", psnr, ops)
-    emit(table, "ablation_layers")
-    psnrs = [psnr for psnr, _ in rows]
-    ops = [o for _, o in rows]
+    outcome = engine.run_experiment("ablation_layers")
+    emit(outcome.tables()["ablation_layers"], "ablation_layers")
+    payloads = outcome.payloads
+    rows = [payloads[f"layers:{count}"] for count in range(1, 6)]
+    psnrs = [row["psnr"] for row in rows]
+    ops = [row["arith_ops"] for row in rows]
     assert psnrs == sorted(psnrs)
     assert ops == sorted(ops)

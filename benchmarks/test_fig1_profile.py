@@ -1,97 +1,52 @@
 """Figure 1 — the software profiling run.
 
-Decodes the synthetic reference material with the instrumented decoder,
-maps the per-stage operation counts to processor cycles (the calibrated
-cost model of ``casestudy.profiles``), and reconstructs the per-stage
-share table of Fig. 1, paper vs measured, for both modes.
+Thin assertion layer over the ``fig1`` registry entry: the instrumented
+decode of the quarter-scale paper workload, the per-stage share table
+(paper vs measured) and the absolute ms-per-tile anchor all come from
+the engine payloads.
 """
 
 import pytest
 
-from repro.casestudy import (
-    CYCLES_PER_OP,
-    PAPER_SHARES_LOSSLESS,
-    PAPER_SHARES_LOSSY,
-    measured_shares,
-    measured_stage_times,
-)
-from repro.jpeg2000 import (
-    ALL_STAGES,
-    CodingParameters,
-    Jpeg2000Decoder,
-    encode_image,
-    synthetic_image,
-)
-from repro.reporting import Table
-
-#: Profiling subject: a quarter-scale version of the paper workload (the
-#: shares are scale-invariant; the decode stays benchmark-friendly).
-PROFILE_SIZE = 256
-PROFILE_TILE = 128
-
-
-def _profile(lossless: bool):
-    image = synthetic_image(PROFILE_SIZE, PROFILE_SIZE, 3, seed=2008)
-    params = CodingParameters(
-        width=PROFILE_SIZE,
-        height=PROFILE_SIZE,
-        num_components=3,
-        tile_width=PROFILE_TILE,
-        tile_height=PROFILE_TILE,
-        num_levels=3,
-        lossless=lossless,
-        base_step=1 / 8,
-    )
-    decoder = Jpeg2000Decoder(encode_image(image, params))
-    decoder.decode()
-    return decoder.ops
+from repro.casestudy import CYCLES_PER_OP, measured_shares, measured_stage_times
+from repro.experiments import execute_request, registry
+from repro.experiments.defs import PROFILE_SIZE, PROFILE_TILE
 
 
 @pytest.fixture(scope="module")
-def profiles():
-    return {True: _profile(True), False: _profile(False)}
+def outcome(engine):
+    return engine.run_experiment("fig1")
 
 
-def test_fig1_profile_reconstruction(benchmark, profiles, emit):
-    ops = benchmark.pedantic(_profile, args=(True,), iterations=1, rounds=1)
-    table = Table(
-        ["stage", "paper lossless [%]", "measured lossless [%]",
-         "paper lossy [%]", "measured lossy [%]"],
-        title="Figure 1 - SW decoder profile (share of decoding time)",
+def test_fig1_profile_reconstruction(benchmark, outcome, emit):
+    lossless_request = registry.get("fig1").requests()[0]
+    ops = benchmark.pedantic(
+        lambda: execute_request(lossless_request)["ops"], iterations=1, rounds=1
     )
-    measured_ll = measured_shares(profiles[True], CYCLES_PER_OP)
-    measured_ly = measured_shares(profiles[False], CYCLES_PER_OP)
-    for stage in ALL_STAGES:
-        table.add_row(
-            stage,
-            PAPER_SHARES_LOSSLESS[stage],
-            measured_ll[stage],
-            PAPER_SHARES_LOSSY[stage],
-            measured_ly[stage],
-        )
-    emit(table, "fig1_profile")
+    tables = outcome.tables()
+    emit(tables["fig1_profile"], "fig1_profile")
+
+    payloads = outcome.payloads
+    measured_ll = measured_shares(payloads["profile:lossless"]["ops"], CYCLES_PER_OP)
+    measured_ly = measured_shares(payloads["profile:lossy"]["ops"], CYCLES_PER_OP)
     assert measured_ll["arith"] == pytest.approx(88.8, abs=8.0)
     assert measured_ly["arith"] == pytest.approx(78.6, abs=8.0)
     assert ops["arith"] > 0
 
 
-def test_fig1_arith_ms_per_tile_anchor(benchmark, profiles, emit):
+def test_fig1_arith_ms_per_tile_anchor(benchmark, outcome, emit):
     """The paper's '~180 ms per tile' anchor, recomputed from op counts."""
+    payloads = outcome.payloads
 
     def derive():
-        times = measured_stage_times(profiles[True], frequency_hz=100e6)
+        times = measured_stage_times(
+            payloads["profile:lossless"]["ops"], frequency_hz=100e6
+        )
         tiles = (PROFILE_SIZE // PROFILE_TILE) ** 2
         return {stage: value / tiles for stage, value in times.items()}
 
     per_tile = benchmark(derive)
-    table = Table(
-        ["stage", "measured ms/tile (lossless)", "paper anchor"],
-        title="Figure 1 - absolute stage times per 128x128 tile",
-    )
-    for stage in ALL_STAGES:
-        anchor = "180 ms (arith)" if stage == "arith" else ""
-        table.add_row(stage, per_tile[stage], anchor)
-    emit(table, "fig1_anchor")
+    emit(outcome.tables()["fig1_anchor"], "fig1_anchor")
     # Same order of magnitude as the paper's processor (a factor of ~2
     # covers the unknown target CPU's IPC).
     assert 60.0 < per_tile["arith"] < 400.0

@@ -1,73 +1,53 @@
 """Section 4's code-size comparison.
 
-The paper counts: handcrafted reference VHDL 404/948 lines, synthesisable
-SystemC 356/903 lines, FOSSY-generated VHDL 2231/4225 lines (IDWT53/97).
-We regenerate all six artefacts and print paper vs measured; the shape
-claims are the ratios (FOSSY output several times larger than handcrafted,
-the 9/7 model roughly 2.3x the 5/3 model).
+Thin assertion layer over the ``loc`` registry entry (which shares its
+synthesis runs with ``table2`` — the engine deduplicates the cells).
+The shape claims are the ratios: FOSSY output several times larger than
+handcrafted, the 9/7 model roughly 2.3x the 5/3 model.
 """
 
 import pytest
 
-from repro.fossy import build_idwt53, build_idwt97, synthesise_block
-from repro.reporting import Table
-
-PAPER_LOC = {
-    # (reference VHDL, SystemC model, FOSSY VHDL)
-    "idwt53": (404, 356, 2231),
-    "idwt97": (948, 903, 4225),
-}
+from repro.experiments import execute_request, registry
 
 
 @pytest.fixture(scope="module")
-def results():
-    return {
-        "idwt53": synthesise_block(build_idwt53()),
-        "idwt97": synthesise_block(build_idwt97()),
-    }
+def outcome(engine):
+    return engine.run_experiment("loc")
 
 
-def test_loc_comparison(benchmark, results, emit):
+def test_loc_comparison(benchmark, outcome, emit):
+    idwt97_request = registry.get("loc").requests()[1]
     benchmark.pedantic(
-        lambda: synthesise_block(build_idwt97()).fossy_loc, iterations=1, rounds=1
+        lambda: execute_request(idwt97_request)["fossy_loc"], iterations=1, rounds=1
     )
-    table = Table(
-        ["artefact", "paper [LoC]", "measured [LoC / statements]"],
-        title="Section 4 - code size comparison (IDWT implementations)",
-    )
-    for name in ("idwt53", "idwt97"):
-        ref_paper, model_paper, fossy_paper = PAPER_LOC[name]
-        block = results[name]
-        table.add_row(f"{name} reference VHDL", ref_paper, block.reference_loc)
-        table.add_row(f"{name} behavioural model", model_paper, block.model_statements)
-        table.add_row(f"{name} FOSSY VHDL", fossy_paper, block.fossy_loc)
-    emit(table, "loc_comparison")
+    emit(outcome.tables()["loc_comparison"], "loc_comparison")
 
-    b53, b97 = results["idwt53"], results["idwt97"]
+    payloads = outcome.payloads
+    b53, b97 = payloads["synth:idwt53"], payloads["synth:idwt97"]
     # Shape: generated code is several times the handcrafted size ...
-    assert b53.loc_ratio > 2.0
-    assert b97.loc_ratio > 2.0
+    assert b53["loc_ratio"] > 2.0
+    assert b97["loc_ratio"] > 2.0
     # ... and the 9/7 artefacts are consistently larger than the 5/3 ones
     # (paper ratio ~2.3x on every row).
-    assert b97.reference_loc > 1.2 * b53.reference_loc
-    assert b97.fossy_loc > 1.2 * b53.fossy_loc
-    assert b97.model_statements > 1.2 * b53.model_statements
+    assert b97["reference_loc"] > 1.2 * b53["reference_loc"]
+    assert b97["fossy_loc"] > 1.2 * b53["fossy_loc"]
+    assert b97["model_statements"] > 1.2 * b53["model_statements"]
 
 
-def test_state_count_drives_generated_size(benchmark, results, emit):
+def test_state_count_drives_generated_size(benchmark, outcome, emit):
     """The FOSSY LoC scales with the inlined state machine, as the paper's
     'all functions and procedures have been inlined into a single explicit
     state machine' implies."""
-    benchmark.pedantic(lambda: results["idwt53"].num_states, iterations=1, rounds=1)
-    table = Table(
-        ["block", "FSM states", "FOSSY LoC", "LoC per state"],
-        title="Generated-code size vs state-machine size",
+    payloads = outcome.payloads
+    benchmark.pedantic(
+        lambda: payloads["synth:idwt53"]["num_states"], iterations=1, rounds=1
     )
-    for name, block in results.items():
-        table.add_row(
-            name, block.num_states, block.fossy_loc, block.fossy_loc / block.num_states
-        )
-    emit(table, "loc_states")
-    ratio53 = results["idwt53"].fossy_loc / results["idwt53"].num_states
-    ratio97 = results["idwt97"].fossy_loc / results["idwt97"].num_states
+    emit(outcome.tables()["loc_states"], "loc_states")
+    ratio53 = (
+        payloads["synth:idwt53"]["fossy_loc"] / payloads["synth:idwt53"]["num_states"]
+    )
+    ratio97 = (
+        payloads["synth:idwt97"]["fossy_loc"] / payloads["synth:idwt97"]["num_states"]
+    )
     assert ratio53 == pytest.approx(ratio97, rel=0.25)

@@ -1,66 +1,44 @@
 """The paper's closing claim: "7b does better scale with increasing
 parallelism".
 
-Sweeps the number of software processors for both VTA mappings.  The
-bus-only architecture's IDWT path degrades as processors are added (they
-all compete for the OPB), while the point-to-point mapping keeps it flat —
-and by eight processors the difference reaches the overall decode time.
+Thin assertion layer over the ``scaling`` registry entry: the engine
+sweeps the processor count for both VTA mappings; this module checks
+that the bus-only IDWT path degrades while the point-to-point one stays
+flat, and that by eight processors the difference reaches the overall
+decode time.
 """
 
 import pytest
 
-from repro.casestudy import paper_workload
-from repro.casestudy.vta_versions import scaled_parallel_version
-from repro.reporting import Table
-
-TASK_COUNTS = (1, 2, 4, 8)
+from repro.experiments import execute_request, registry
+from repro.experiments.defs import TASK_COUNTS
 
 
 @pytest.fixture(scope="module")
-def sweep():
-    workload = paper_workload(True)
-    results = {}
-    for num_tasks in TASK_COUNTS:
-        for p2p in (False, True):
-            model = scaled_parallel_version(num_tasks, p2p)(workload)
-            report = model.run()
-            results[(num_tasks, p2p)] = (report.decode_ms, model.idwt_metrics.busy_ms)
-    return results
+def outcome(engine):
+    return engine.run_experiment("scaling")
 
 
-def test_scaling_sweep(benchmark, sweep, emit):
-    benchmark.pedantic(
-        lambda: scaled_parallel_version(8, True)(paper_workload(True)).run(),
-        iterations=1,
-        rounds=1,
-    )
-    table = Table(
-        [
-            "processors",
-            "bus-only decode [ms]", "bus-only IDWT [ms]",
-            "P2P decode [ms]", "P2P IDWT [ms]",
-        ],
-        title="Scaling with parallelism - 7a-style (bus) vs 7b-style (P2P)",
-    )
-    for num_tasks in TASK_COUNTS:
-        bus = sweep[(num_tasks, False)]
-        p2p = sweep[(num_tasks, True)]
-        table.add_row(num_tasks, bus[0], bus[1], p2p[0], p2p[1])
-    emit(table, "scaling_parallelism")
+def test_scaling_sweep(benchmark, outcome, emit):
+    heaviest = registry.get("scaling").requests()[-1]  # 8 cpus, P2P
+    benchmark.pedantic(lambda: execute_request(heaviest), iterations=1, rounds=1)
+    emit(outcome.tables()["scaling_parallelism"], "scaling_parallelism")
 
+    payloads = outcome.payloads
     # The P2P IDWT path is independent of the processor count ...
-    p2p_idwt = [sweep[(n, True)][1] for n in TASK_COUNTS]
+    p2p_idwt = [payloads[f"scaled:{n}:p2p"]["idwt_ms"] for n in TASK_COUNTS]
     assert max(p2p_idwt) < min(p2p_idwt) * 1.10
     # ... while the bus-only path degrades beyond two processors ...
-    assert sweep[(8, False)][1] > sweep[(2, False)][1] * 1.3
+    assert payloads["scaled:8:bus"]["idwt_ms"] > payloads["scaled:2:bus"]["idwt_ms"] * 1.3
     # ... and at eight processors the bus mapping is slower end to end.
-    assert sweep[(8, False)][0] > sweep[(8, True)][0]
+    assert payloads["scaled:8:bus"]["decode_ms"] > payloads["scaled:8:p2p"]["decode_ms"]
 
 
-def test_decode_time_scales_with_processors(benchmark, sweep):
+def test_decode_time_scales_with_processors(benchmark, outcome):
     """Software parallelism itself behaves (near-Amdahl) in both mappings."""
-    benchmark.pedantic(lambda: sweep[(1, True)], iterations=1, rounds=1)
-    for p2p in (False, True):
-        one = sweep[(1, p2p)][0]
-        eight = sweep[(8, p2p)][0]
+    payloads = outcome.payloads
+    benchmark.pedantic(lambda: payloads["scaled:1:p2p"], iterations=1, rounds=1)
+    for wiring in ("bus", "p2p"):
+        one = payloads[f"scaled:1:{wiring}"]["decode_ms"]
+        eight = payloads[f"scaled:8:{wiring}"]["decode_ms"]
         assert 5.5 < one / eight < 8.5

@@ -1,78 +1,56 @@
 """Table 1, rows 1-5 — Application Layer simulation results.
 
-Runs every application-layer model on the paper workload (16 tiles, 3
-components, 100 MHz) in both modes and prints the reconstructed upper half
-of Table 1, including the speed-up column the paper quotes in prose.
+Thin assertion layer over the experiment engine: the registry entry
+``table1_application_layer`` owns the request matrix and the table
+rendering; this module checks the paper's prose relations on the same
+payloads and re-emits the artifact.  The ``benchmark`` timings measure
+raw (uncached) request execution.
 """
 
 import pytest
 
-from repro.casestudy import APPLICATION_VERSIONS, ROW_LABELS, paper_workload, run_version
-from repro.reporting import Table
+from repro.experiments import KIND_SIMULATE, RunRequest, execute_request, registry
 
 
 @pytest.fixture(scope="module")
-def reports():
-    out = {}
-    for lossless in (True, False):
-        workload = paper_workload(lossless)
-        for name in APPLICATION_VERSIONS:
-            out[(name, lossless)] = run_version(name, lossless, workload)
-    return out
+def outcome(engine):
+    return engine.run_experiment("table1_application_layer")
 
 
-def test_table1_application_layer(benchmark, reports, emit):
+def test_table1_application_layer(benchmark, outcome, emit):
     def run_all_lossless():
-        workload = paper_workload(True)
-        return [run_version(name, True, workload) for name in APPLICATION_VERSIONS]
+        return [
+            execute_request(request)
+            for request in registry.get("table1_application_layer").requests()
+            if request.params["lossless"]
+        ]
 
     benchmark.pedantic(run_all_lossless, iterations=1, rounds=1)
-    table = Table(
-        [
-            "version", "model",
-            "decode lossless [ms]", "decode lossy [ms]",
-            "IDWT lossless [ms]", "IDWT lossy [ms]",
-            "speedup lossless", "speedup lossy",
-        ],
-        title="Table 1 (upper half) - Application Layer simulation results, "
-        "16 tiles x 3 components @ 100 MHz",
-    )
-    base = {
-        mode: reports[("1", mode)].decode_ms for mode in (True, False)
-    }
-    for name in APPLICATION_VERSIONS:
-        row_ll = reports[(name, True)]
-        row_ly = reports[(name, False)]
-        table.add_row(
-            name,
-            ROW_LABELS[name],
-            row_ll.decode_ms,
-            row_ly.decode_ms,
-            row_ll.idwt_ms,
-            row_ly.idwt_ms,
-            base[True] / row_ll.decode_ms,
-            base[False] / row_ly.decode_ms,
-        )
-    emit(table, "table1_application_layer")
+    for stem, table in outcome.tables().items():
+        emit(table, stem)
 
     # The paper's prose checks, asserted on the same data we printed.
-    assert base[True] / reports[("2", True)].decode_ms == pytest.approx(1.10, abs=0.03)
-    assert base[False] / reports[("2", False)].decode_ms == pytest.approx(1.19, abs=0.03)
-    assert base[True] / reports[("4", True)].decode_ms == pytest.approx(4.5, abs=0.3)
-    assert base[False] / reports[("4", False)].decode_ms == pytest.approx(5.0, abs=0.4)
+    payloads = outcome.payloads
+    base = {mode: payloads[f"sim:1:{mode}"]["decode_ms"] for mode in ("lossless", "lossy")}
+    assert base["lossless"] / payloads["sim:2:lossless"]["decode_ms"] == pytest.approx(1.10, abs=0.03)
+    assert base["lossy"] / payloads["sim:2:lossy"]["decode_ms"] == pytest.approx(1.19, abs=0.03)
+    assert base["lossless"] / payloads["sim:4:lossless"]["decode_ms"] == pytest.approx(4.5, abs=0.3)
+    assert base["lossy"] / payloads["sim:4:lossy"]["decode_ms"] == pytest.approx(5.0, abs=0.4)
 
 
 def test_version1_simulation_speed(benchmark):
     """How fast the simulator runs the heaviest sequential model."""
-    workload = paper_workload(False)
-    report = benchmark(lambda: run_version("1", False, workload))
-    assert report.decode_ms == pytest.approx(3664.1, abs=1.0)
+    request = RunRequest("sim:1:lossy", KIND_SIMULATE,
+                         {"version": "1", "lossless": False})
+    payload = benchmark(lambda: execute_request(request))
+    assert payload["decode_ms"] == pytest.approx(3664.1, abs=1.0)
 
 
 def test_version5_simulation_speed(benchmark):
     """The busiest application-layer model (7 SO clients, 4 tasks)."""
-    workload = paper_workload(False)
-    report = benchmark.pedantic(
-        lambda: run_version("5", False, workload), iterations=1, rounds=3
+    request = RunRequest("sim:5:lossy", KIND_SIMULATE,
+                         {"version": "5", "lossless": False})
+    payload = benchmark.pedantic(
+        lambda: execute_request(request), iterations=1, rounds=3
     )
-    assert report.details["idwt_jobs"] == 48
+    assert payload["details"]["idwt_jobs"] == 48

@@ -1,90 +1,63 @@
 """Table 1, rows 6a-7b — Virtual Target Architecture simulation results.
 
-The cycle-accurate mappings: OPB-only vs OPB+point-to-point, one vs four
-processors.  Prints the lower half of Table 1 with the IDWT-time ratios
-the paper discusses (inflation vs model 3, 6b == 7b, speed-up vs SW-only).
+Thin assertion layer over the ``table1_vta_layer`` registry entry: the
+cycle-accurate mappings (OPB-only vs OPB+point-to-point, one vs four
+processors), the IDWT-time ratios the paper discusses, and the OPB
+traffic table — all rendered from the same engine payloads.
 """
 
 import pytest
 
-from repro.casestudy import ROW_LABELS, VTA_VERSIONS, paper_workload, run_version
-from repro.reporting import CHANNEL_TRAFFIC_COLUMNS, Table, channel_traffic_row
+from repro.experiments import KIND_SIMULATE, RunRequest, execute_request
 
 
 @pytest.fixture(scope="module")
-def reports():
-    out = {}
-    for lossless in (True, False):
-        workload = paper_workload(lossless)
-        out[("1", lossless)] = run_version("1", lossless, workload)
-        out[("3", lossless)] = run_version("3", lossless, workload)
-        for name in VTA_VERSIONS:
-            out[(name, lossless)] = run_version(name, lossless, workload)
-    return out
+def outcome(engine):
+    return engine.run_experiment("table1_vta_layer")
 
 
-def test_table1_vta_layer(benchmark, reports, emit):
-    def run_6a_lossless():
-        return run_version("6a", True, paper_workload(True))
-
-    benchmark.pedantic(run_6a_lossless, iterations=1, rounds=1)
-    table = Table(
-        [
-            "version", "mapping",
-            "decode lossless [ms]", "decode lossy [ms]",
-            "IDWT lossless [ms]", "IDWT lossy [ms]",
-            "IDWT vs v3", "IDWT speedup vs v1",
-        ],
-        title="Table 1 (lower half) - VTA Layer simulation results, "
-        "16 tiles x 3 components @ 100 MHz",
-    )
-    for name in VTA_VERSIONS:
-        row_ll = reports[(name, True)]
-        row_ly = reports[(name, False)]
-        table.add_row(
-            name,
-            ROW_LABELS[name],
-            row_ll.decode_ms,
-            row_ly.decode_ms,
-            row_ll.idwt_ms,
-            row_ly.idwt_ms,
-            row_ll.idwt_ms / reports[("3", True)].idwt_ms,
-            reports[("1", True)].idwt_ms / row_ll.idwt_ms,
-        )
-    emit(table, "table1_vta_layer")
+def test_table1_vta_layer(benchmark, outcome, emit):
+    request = RunRequest("sim:6a:lossless", KIND_SIMULATE,
+                         {"version": "6a", "lossless": True})
+    benchmark.pedantic(lambda: execute_request(request), iterations=1, rounds=1)
+    tables = outcome.tables()
+    emit(tables["table1_vta_layer"], "table1_vta_layer")
 
     # The prose relations on the printed data.
-    for lossless in (True, False):
-        assert reports[("7a", lossless)].idwt_ms > reports[("6a", lossless)].idwt_ms
-        assert reports[("7b", lossless)].idwt_ms == pytest.approx(
-            reports[("6b", lossless)].idwt_ms, rel=0.10
+    payloads = outcome.payloads
+    for mode in ("lossless", "lossy"):
+        assert (
+            payloads[f"sim:7a:{mode}"]["idwt_ms"]
+            > payloads[f"sim:6a:{mode}"]["idwt_ms"]
         )
-    speedup = reports[("1", True)].idwt_ms / reports[("6b", True)].idwt_ms
+        assert payloads[f"sim:7b:{mode}"]["idwt_ms"] == pytest.approx(
+            payloads[f"sim:6b:{mode}"]["idwt_ms"], rel=0.10
+        )
+    speedup = (
+        payloads["sim:1:lossless"]["idwt_ms"] / payloads["sim:6b:lossless"]["idwt_ms"]
+    )
     assert 9.0 < speedup < 15.0  # paper: "a factor of 12"
 
 
-def test_vta_bus_statistics(benchmark, reports, emit):
+def test_vta_bus_statistics(benchmark, outcome, emit):
     """Secondary observables: where the OPB time actually went."""
-    benchmark.pedantic(lambda: reports[("6a", True)].details, iterations=1, rounds=1)
-    table = Table(
-        list(CHANNEL_TRAFFIC_COLUMNS),
-        title="OPB traffic per VTA mapping (lossless run)",
+    payloads = outcome.payloads
+    benchmark.pedantic(
+        lambda: payloads["sim:6a:lossless"]["details"], iterations=1, rounds=1
     )
-    for name in VTA_VERSIONS:
-        details = reports[(name, True)].details
-        table.add_row(*channel_traffic_row(name, details["opb"]))
-    emit(table, "table1_vta_bus_traffic")
+    emit(outcome.tables()["table1_vta_bus_traffic"], "table1_vta_bus_traffic")
     # bus-only mappings move the tile data over the OPB twice more
     assert (
-        reports[("6a", True)].details["opb"].words
-        > 2 * reports[("6b", True)].details["opb"].words
+        payloads["sim:6a:lossless"]["details"]["opb"]["words"]
+        > 2 * payloads["sim:6b:lossless"]["details"]["opb"]["words"]
     )
 
 
 def test_7b_simulation_speed(benchmark):
     """Wall-clock cost of the most detailed model in the repository."""
-    workload = paper_workload(True)
-    report = benchmark.pedantic(
-        lambda: run_version("7b", True, workload), iterations=1, rounds=3
+    request = RunRequest("sim:7b:lossless", KIND_SIMULATE,
+                         {"version": "7b", "lossless": True})
+    payload = benchmark.pedantic(
+        lambda: execute_request(request), iterations=1, rounds=3
     )
-    assert report.decode_ms < 900.0
+    assert payload["decode_ms"] < 900.0

@@ -1,80 +1,45 @@
 """Table 2 — RTL synthesis results of the IDWT blocks.
 
-Runs both IDWT models through the reference path and the FOSSY path
-(inline -> elaborate -> estimate) and prints the reconstructed Table 2:
-flip-flops, LUTs, occupied slices, equivalent gates and estimated
-frequency on the Virtex-4 LX25, FOSSY vs reference.
+Thin assertion layer over the ``table2`` registry entry: both IDWT
+models through the reference path and the FOSSY path (inline ->
+elaborate -> estimate), FOSSY vs reference on the Virtex-4 LX25.
 """
 
 import pytest
 
-from repro.fossy import build_idwt53, build_idwt97, synthesise_block
-from repro.reporting import Table
+from repro.experiments import execute_request, registry
+from repro.fossy import build_idwt97
 
 
 @pytest.fixture(scope="module")
-def results():
-    return {
-        "idwt53": synthesise_block(build_idwt53()),
-        "idwt97": synthesise_block(build_idwt97()),
-    }
+def outcome(engine):
+    return engine.run_experiment("table2")
 
 
-def test_table2_synthesis_results(benchmark, results, emit):
+def test_table2_synthesis_results(benchmark, outcome, emit):
+    idwt53_request = registry.get("table2").requests()[0]
     benchmark.pedantic(
-        lambda: synthesise_block(build_idwt53()), iterations=1, rounds=1
+        lambda: execute_request(idwt53_request), iterations=1, rounds=1
     )
-    table = Table(
-        [
-            "metric",
-            "IDWT53 FOSSY", "IDWT53 reference",
-            "IDWT97 FOSSY", "IDWT97 reference",
-        ],
-        title="Table 2 - RTL synthesis results of the IDWT (Virtex-4 LX25)",
-    )
-    b53, b97 = results["idwt53"], results["idwt97"]
-    rows = [
-        ("Number of Slice Flip Flops",
-         b53.fossy_report.flip_flops, b53.reference_report.flip_flops,
-         b97.fossy_report.flip_flops, b97.reference_report.flip_flops),
-        ("Number of 4 input LUTs",
-         b53.fossy_report.luts, b53.reference_report.luts,
-         b97.fossy_report.luts, b97.reference_report.luts),
-        ("Number of occupied Slices",
-         b53.fossy_report.slices, b53.reference_report.slices,
-         b97.fossy_report.slices, b97.reference_report.slices),
-        ("Total equivalent gate count",
-         b53.fossy_report.gate_count, b53.reference_report.gate_count,
-         b97.fossy_report.gate_count, b97.reference_report.gate_count),
-        ("Estimated frequency [MHz]",
-         b53.fossy_report.frequency_mhz, b53.reference_report.frequency_mhz,
-         b97.fossy_report.frequency_mhz, b97.reference_report.frequency_mhz),
-    ]
-    for row in rows:
-        table.add_row(*row)
-    emit(table, "table2_synthesis")
+    emit(outcome.tables()["table2_synthesis"], "table2_synthesis")
 
     # Paper section 4: the relations on the printed data.
-    assert b53.area_ratio == pytest.approx(1.10, abs=0.08)   # "about 10 %"
-    assert b97.area_ratio == pytest.approx(0.85, abs=0.08)   # "15 % smaller"
-    assert b97.frequency_ratio == pytest.approx(0.72, abs=0.08)  # "28 % slower"
-    for result in results.values():
-        assert result.reference_report.meets(100e6)
-        assert result.fossy_report.meets(100e6)  # "perfectly match the timing"
+    payloads = outcome.payloads
+    b53, b97 = payloads["synth:idwt53"], payloads["synth:idwt97"]
+    assert b53["area_ratio"] == pytest.approx(1.10, abs=0.08)   # "about 10 %"
+    assert b97["area_ratio"] == pytest.approx(0.85, abs=0.08)   # "15 % smaller"
+    assert b97["frequency_ratio"] == pytest.approx(0.72, abs=0.08)  # "28 % slower"
+    for block in (b53, b97):
+        assert block["reference"]["meets_100mhz"]
+        assert block["fossy"]["meets_100mhz"]  # "perfectly match the timing"
 
 
-def test_table2_ratio_summary(benchmark, results, emit):
-    benchmark.pedantic(lambda: results["idwt53"].area_ratio, iterations=1, rounds=1)
-    table = Table(
-        ["block", "paper area ratio", "measured area ratio",
-         "paper freq ratio", "measured freq ratio"],
-        title="Table 2 - FOSSY/reference ratios, paper vs measured",
+def test_table2_ratio_summary(benchmark, outcome, emit):
+    payloads = outcome.payloads
+    benchmark.pedantic(
+        lambda: payloads["synth:idwt53"]["area_ratio"], iterations=1, rounds=1
     )
-    table.add_row("IDWT53", "~1.10", results["idwt53"].area_ratio,
-                  "~1.0 (similar)", results["idwt53"].frequency_ratio)
-    table.add_row("IDWT97", "0.85", results["idwt97"].area_ratio,
-                  "0.72", results["idwt97"].frequency_ratio)
-    emit(table, "table2_ratios")
+    emit(outcome.tables()["table2_ratios"], "table2_ratios")
 
 
 def test_estimation_speed(benchmark):

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 
 def _cmd_fig1(args) -> int:
@@ -49,7 +50,10 @@ def _cmd_table1(args) -> int:
     from .casestudy import ROW_LABELS, build_table1
     from .reporting import Table
 
-    table1 = build_table1(versions=args.versions)
+    try:
+        table1 = build_table1(versions=args.versions)
+    except ValueError as error:
+        raise SystemExit(str(error))
     table = Table(
         ["ver", "model", "lossless [ms]", "lossy [ms]", "IDWT ll [ms]", "IDWT ly [ms]"],
         title="Table 1 - simulation results (16 tiles x 3 components @ 100 MHz)",
@@ -246,6 +250,128 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _make_runner(args):
+    """A :class:`Runner` from the shared sweep/results CLI options."""
+    from .experiments import ResultCache, Runner
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ResultCache(args.cache_dir)  # None -> default location
+    return Runner(jobs=args.jobs, cache=cache)
+
+
+def _selected_experiments(tokens):
+    from .experiments import registry
+
+    try:
+        return registry.expand(tokens)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
+
+
+def _cmd_sweep(args) -> int:
+    import dataclasses
+
+    from .experiments import KIND_SIMULATE
+
+    experiments = _selected_experiments(args.experiments)
+    if args.telemetry:
+        # Telemetry is an identity-bearing option: flipping it addresses
+        # different cache cells, and the recorded spans ride into them.
+        def _instrumented(requests):
+            return tuple(
+                request.with_options(telemetry=True)
+                if request.kind == KIND_SIMULATE
+                else request
+                for request in requests
+            )
+
+        experiments = [
+            dataclasses.replace(
+                entry,
+                build_requests=(
+                    lambda reqs=entry.requests(): _instrumented(reqs)
+                ),
+            )
+            for entry in experiments
+        ]
+
+    runner = _make_runner(args)
+    for outcome in runner.sweep(experiments):
+        for table in outcome.tables().values():
+            print(table.render())
+    stats = dict(runner.last_stats)
+    if runner.cache is not None:
+        stats.update(runner.cache.stats())
+    print("# " + ", ".join(f"{key}={value}" for key, value in sorted(stats.items())))
+    return 0
+
+
+def _cmd_results(args) -> int:
+    from .experiments import artifacts
+
+    if not (args.regen or args.check):
+        raise SystemExit("results: pass --regen and/or --check")
+    experiments = _selected_experiments(args.experiments) if args.experiments else None
+    runner = _make_runner(args)
+    files = artifacts.render_artifacts(experiments, runner=runner)
+    out_dir = Path(args.out) if args.out else artifacts.results_dir()
+
+    status = 0
+    if args.check:
+        # Diff against the committed files *before* any rewrite, so
+        # '--regen --check' proves reproducibility and refreshes.
+        import difflib
+
+        for name, expected in files.items():
+            path = out_dir / name
+            if not path.is_file():
+                print(f"DRIFT  results/{name}: missing")
+                status = 1
+                continue
+            actual = path.read_text(encoding="utf-8")
+            if actual != expected:
+                status = 1
+                sys.stdout.writelines(difflib.unified_diff(
+                    actual.splitlines(keepends=True),
+                    expected.splitlines(keepends=True),
+                    fromfile=f"results/{name} (committed)",
+                    tofile=f"results/{name} (regenerated)",
+                ))
+        if status == 0:
+            print(f"OK: {len(files)} artifact files reproduce byte-identically")
+    if args.regen:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, content in files.items():
+            (out_dir / name).write_text(content, encoding="utf-8")
+        print(f"wrote {len(files)} files to {out_dir}")
+    return status
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import registry
+    from .reporting import Table
+
+    table = Table(
+        ["id", "category", "requests", "artefacts", "title"],
+        title="Registered experiments (src/repro/experiments/defs.py)",
+    )
+    for entry in registry.all_experiments():
+        table.add_row(
+            entry.id,
+            entry.category,
+            len(entry.requests()),
+            " ".join(entry.artefacts),
+            entry.title,
+        )
+    print(table.render())
+    print("groups: " + ", ".join(
+        f"{name} ({len(members)})"
+        for name, members in sorted(registry.GROUPS.items())
+    ))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .telemetry.export import write_chrome_trace
 
@@ -317,6 +443,45 @@ def main(argv=None) -> int:
     p_trace.add_argument("--out", default="trace.json",
                          help="output path (default: trace.json)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    def add_runner_options(sub_parser):
+        sub_parser.add_argument("--jobs", type=int, default=0,
+                                help="worker processes for cache misses "
+                                "(default: in-process sequential)")
+        sub_parser.add_argument("--no-cache", action="store_true",
+                                help="recompute every cell; store nothing")
+        sub_parser.add_argument("--cache-dir", default=None,
+                                help="result cache location (default: "
+                                ".repro_cache/, or $REPRO_CACHE_DIR)")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run experiments from the registry (cached, parallel)")
+    p_sweep.add_argument("experiments", nargs="+",
+                         help="experiment ids and/or groups "
+                         "(e.g. 'table1', 'ablations', 'all')")
+    p_sweep.add_argument("--telemetry", action="store_true",
+                         help="record telemetry spans on simulation runs")
+    add_runner_options(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_results = sub.add_parser(
+        "results", help="regenerate/verify the results/ artifact files")
+    p_results.add_argument("--regen", action="store_true",
+                           help="rewrite every artifact file")
+    p_results.add_argument("--check", action="store_true",
+                           help="diff regenerated content against results/ "
+                           "(exit 1 on drift)")
+    p_results.add_argument("--experiments", nargs="+", default=None,
+                           help="restrict to these experiment ids/groups "
+                           "(default: the full registry)")
+    p_results.add_argument("--out", default=None,
+                           help="artifact directory (default: results/)")
+    add_runner_options(p_results)
+    p_results.set_defaults(func=_cmd_results)
+
+    p_exps = sub.add_parser(
+        "experiments", help="list the registered experiments and groups")
+    p_exps.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)
     return args.func(args)

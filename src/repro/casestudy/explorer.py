@@ -100,10 +100,14 @@ class Table1:
 
 
 def build_table1(versions=None) -> Table1:
-    """Simulate every version in both modes and assemble Table 1."""
-    names = list(versions) if versions is not None else list(ALL_VERSIONS)
+    """Simulate every version in both modes and assemble Table 1.
+
+    *versions* goes through :func:`repro.design.catalog.select`, so any
+    subset is validated and ordered canonically (unknown identifiers
+    raise ``ValueError`` naming the registered versions).
+    """
     rows = []
-    for version in names:
+    for version in catalog.select(versions):
         spec = catalog.get(version)
         row = Table1Row(version=version, label=spec.label, layer=spec.mapping.layer)
         for lossless in (True, False):

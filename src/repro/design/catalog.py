@@ -49,6 +49,11 @@ LABELS = {
     "7b": "SW par., HW/SW SO on bus & P2P",
 }
 
+#: Which catalog layer each version elaborates to (Table 1 halves).
+APPLICATION_ROWS = ("1", "2", "3", "4", "5")
+VTA_ROWS = ("6a", "6b", "7a", "7b")
+_LAYERS = {"application": APPLICATION_ROWS, "vta": VTA_ROWS}
+
 #: Block-RAM timing of the VTA store: one 100 MHz cycle per word, ten
 #: cycles of port setup per method call.
 RAM_SECONDS_PER_WORD = 10e-9
@@ -75,6 +80,41 @@ def _profiles():
 def names() -> list:
     """All registered version identifiers, in Table 1 row order."""
     return list(ROW_ORDER)
+
+
+def select(ids=None, *, layer=None) -> list:
+    """Validated version identifiers, always in Table 1 row order.
+
+    The one version-selection helper every consumer goes through (the
+    CLI's ``--versions``, the explorer, the experiment registry).
+
+    ``ids``
+        Iterable of version identifiers, or ``None`` for all.  Order and
+        duplicates are normalised away; an unknown identifier raises
+        ``ValueError`` naming the full vocabulary.
+    ``layer``
+        ``"application"`` or ``"vta"`` restricts to that Table 1 half
+        (applied after ``ids``).
+    """
+    if layer is not None and layer not in _LAYERS:
+        raise ValueError(
+            f"unknown layer {layer!r}; expected one of {sorted(_LAYERS)}"
+        )
+    if ids is None:
+        chosen = set(ROW_ORDER)
+    else:
+        if isinstance(ids, str):
+            ids = [ids]
+        chosen = set(ids)
+        unknown = chosen.difference(ROW_ORDER)
+        if unknown:
+            raise ValueError(
+                f"unknown design version(s) {sorted(unknown)}; "
+                f"registered versions: {list(ROW_ORDER)}"
+            )
+    if layer is not None:
+        chosen.intersection_update(_LAYERS[layer])
+    return [name for name in ROW_ORDER if name in chosen]
 
 
 def get(name: str) -> DesignSpec:

@@ -1,0 +1,82 @@
+"""Regenerate and verify every file under ``results/``.
+
+The registry is the single source of truth for the result artefacts:
+each experiment owns its ``results/<stem>.{txt,csv}`` stems and renders
+them as a pure function of run payloads.  This module drives the full
+pipeline — run (or cache-serve) the requests, render the tables, write
+or diff the files — so ``python -m repro results --regen --check``
+proves the committed artifacts are reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+from typing import List, Optional
+
+from . import registry
+from .runner import Runner
+
+
+def repo_root() -> Path:
+    # src/repro/experiments/artifacts.py -> repo root (src layout).
+    return Path(__file__).resolve().parents[3]
+
+
+def results_dir() -> Path:
+    return repo_root() / "results"
+
+
+def render_artifacts(experiments=None, runner: Optional[Runner] = None) -> dict:
+    """``{filename: content}`` for every artefact of *experiments*.
+
+    Filenames are relative to ``results/`` — two per table stem
+    (``<stem>.txt`` and ``<stem>.csv``), in registry order.
+    """
+    if experiments is None:
+        experiments = registry.all_experiments()
+    if runner is None:
+        runner = Runner()
+    files: dict = {}
+    for outcome in runner.sweep(experiments):
+        for stem, table in outcome.tables().items():
+            files[f"{stem}.txt"] = table.render()
+            files[f"{stem}.csv"] = table.to_csv()
+    return files
+
+
+def regenerate(experiments=None, runner=None, out_dir=None) -> List[Path]:
+    """Write every artefact file; returns the paths written."""
+    out_dir = Path(out_dir) if out_dir is not None else results_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, content in render_artifacts(experiments, runner).items():
+        path = out_dir / name
+        path.write_text(content, encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def check(experiments=None, runner=None, out_dir=None) -> List[str]:
+    """Diff regenerated artifacts against the files on disk.
+
+    Returns one unified diff per drifting file (empty list == clean).
+    Missing files count as drift with a synthetic diff header.
+    """
+    out_dir = Path(out_dir) if out_dir is not None else results_dir()
+    drift: List[str] = []
+    for name, expected in render_artifacts(experiments, runner).items():
+        path = out_dir / name
+        if not path.is_file():
+            drift.append(f"--- {name} (missing)\n+++ {name} (regenerated)\n")
+            continue
+        actual = path.read_text(encoding="utf-8")
+        if actual != expected:
+            diff = difflib.unified_diff(
+                actual.splitlines(keepends=True),
+                expected.splitlines(keepends=True),
+                fromfile=f"results/{name} (committed)",
+                tofile=f"results/{name} (regenerated)",
+            )
+            drift.append("".join(diff))
+    return drift

@@ -1,0 +1,105 @@
+"""Content identity of an experiment run.
+
+A cached result may only ever be served when *nothing that produced it*
+has changed.  Three hashes pin that down:
+
+* :func:`spec_hash` — the canonical hash of a design description
+  (``DesignSpec.as_dict()`` in canonical JSON), so any spec field flip —
+  a channel kind, a priority, a chunk size — yields a different key;
+* the *workload hash* — the geometry and stage-time profile a model
+  decodes (computed by the runner from the request parameters);
+* :func:`code_fingerprint` — a hash over the sources of the subsystems a
+  run executes (``src/repro/{casestudy,design,jpeg2000,kernel,vta}`` plus
+  the experiment interpreter itself, and ``fossy`` for synthesis runs),
+  so editing a single byte of model code invalidates every cached cell.
+
+All hashes are SHA-256 over canonical JSON / file bytes and therefore
+stable across processes, platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Subsystems of ``src/repro`` whose sources every simulation/profile run
+#: depends on.  ``fossy`` is only pulled in by synthesis runs (see
+#: :func:`subsystems_for_kind`).
+DEFAULT_SUBSYSTEMS = ("casestudy", "design", "jpeg2000", "kernel", "vta")
+
+#: Extra files hashed into every fingerprint: the request interpreter —
+#: its semantics (how options map onto model tweaks) are part of what a
+#: cached payload means.
+EXTRA_FILES = ("experiments/execute.py",)
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, strict types."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def spec_hash(spec) -> str:
+    """Canonical content hash of a :class:`~repro.design.spec.DesignSpec`."""
+    return sha256_hex(canonical_json(spec.as_dict()))
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def subsystems_for_kind(kind: str) -> tuple:
+    """The subsystem set whose sources a request *kind* executes."""
+    if kind == "synthesise":
+        return DEFAULT_SUBSYSTEMS + ("fossy",)
+    return DEFAULT_SUBSYSTEMS
+
+
+def code_fingerprint(
+    subsystems: Sequence[str] = DEFAULT_SUBSYSTEMS,
+    root: Optional[Path] = None,
+) -> str:
+    """Hash of every ``*.py`` source under *root*'s listed subsystems.
+
+    The digest covers relative path + file bytes in sorted path order, so
+    renames, additions, deletions and single-byte edits all change it.
+    *root* defaults to the installed package; passing an explicit root is
+    how tests fingerprint a scratch tree.
+    """
+    if root is None:
+        return _cached_fingerprint(tuple(subsystems))
+    return _fingerprint(tuple(subsystems), Path(root))
+
+
+@lru_cache(maxsize=32)
+def _cached_fingerprint(subsystems: tuple) -> str:
+    # Sources do not change underneath a running process; hashing the
+    # ~200 package files once per subsystem set keeps cache-key
+    # computation off the sweep's critical path.
+    return _fingerprint(subsystems, package_root())
+
+
+def _fingerprint(subsystems: tuple, root: Path) -> str:
+    digest = hashlib.sha256()
+    paths = []
+    for subsystem in subsystems:
+        base = root / subsystem
+        if base.is_dir():
+            paths.extend(base.rglob("*.py"))
+    for extra in EXTRA_FILES:
+        candidate = root / extra
+        if candidate.is_file():
+            paths.append(candidate)
+    for path in sorted(paths, key=lambda p: str(p.relative_to(root))):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    return digest.hexdigest()

@@ -1,0 +1,178 @@
+"""The one run API every experiment goes through.
+
+A :class:`RunRequest` is a small picklable value — kind + parameters +
+options — that fully determines one unit of work (one simulation cell,
+one profiling decode, one synthesis run).  :func:`cache_key` derives its
+content-addressed identity; :class:`RunResult` carries the plain-data
+payload back, together with where it came from (computed or cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from . import fingerprint as fp
+
+#: Request kinds understood by :mod:`repro.experiments.execute`.
+KIND_SIMULATE = "simulate"
+KIND_PROFILE = "profile"
+KIND_LAYERS = "layers"
+KIND_SYNTHESISE = "synthesise"
+KIND_WALLCLOCK = "wallclock"
+
+KNOWN_KINDS = (
+    KIND_SIMULATE,
+    KIND_PROFILE,
+    KIND_LAYERS,
+    KIND_SYNTHESISE,
+    KIND_WALLCLOCK,
+)
+
+#: Kinds whose payloads are pure functions of (spec, workload, code) and
+#: therefore cacheable.  ``wallclock`` tables derive from the committed
+#: benchmark trajectory file instead — always rebuilt, never cached.
+CACHEABLE_KINDS = (KIND_SIMULATE, KIND_PROFILE, KIND_LAYERS, KIND_SYNTHESISE)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One unit of experiment work.
+
+    ``rid``
+        Request identifier, unique within its experiment (e.g.
+        ``"sim:6a:lossless"``); table builders look results up by it.
+    ``kind``
+        Interpreter dispatch: one of :data:`KNOWN_KINDS`.
+    ``params``
+        What to run (version/mode/geometry).  Identity-bearing.
+    ``options``
+        How to run it (ablation tweaks, telemetry).  Identity-bearing —
+        any option flip is a different cache cell.
+    """
+
+    rid: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; expected one of {KNOWN_KINDS}"
+            )
+
+    @property
+    def cacheable(self) -> bool:
+        return self.kind in CACHEABLE_KINDS
+
+    def with_options(self, **options) -> "RunRequest":
+        return replace(self, options={**self.options, **options})
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The content address of one request, with its guard components."""
+
+    key: str
+    spec_hash: Optional[str]
+    workload_hash: str
+    code_fingerprint: str
+
+
+@dataclass
+class RunResult:
+    """One executed (or cache-served) request."""
+
+    request: RunRequest
+    payload: dict
+    cached: bool = False
+    seconds: float = 0.0
+    key: Optional[CacheKey] = None
+
+    @property
+    def rid(self) -> str:
+        return self.request.rid
+
+    @property
+    def telemetry(self) -> Optional[dict]:
+        return self.payload.get("telemetry")
+
+
+def request_spec(request: RunRequest):
+    """The :class:`DesignSpec` a simulate request elaborates (else None).
+
+    This is the *exact* spec the interpreter builds — including the RMI
+    chunk override — so the cache key tracks the design description, not
+    just its name.
+    """
+    if request.kind != KIND_SIMULATE:
+        return None
+    from ..design import catalog
+
+    version = request.params["version"]
+    if version == "scaled":
+        spec = catalog.scaled_vta_spec(
+            int(request.params["num_tasks"]), bool(request.params["p2p"])
+        )
+    else:
+        spec = catalog.get(version)
+    chunk = request.options.get("rmi_chunk_words")
+    if chunk is not None:
+        spec = catalog.with_chunk_words(spec, int(chunk))
+    return spec
+
+
+def workload_descriptor(request: RunRequest) -> dict:
+    """Plain-data description of what the request decodes/processes."""
+    if request.kind == KIND_SIMULATE:
+        from ..casestudy.profiles import profile_for
+        from ..casestudy.workload import (
+            PAPER_COMPONENTS,
+            PAPER_TILE_SIZE,
+            PAPER_TILES,
+        )
+
+        lossless = bool(request.params["lossless"])
+        times = profile_for(lossless)
+        return {
+            "workload": "paper",
+            "lossless": lossless,
+            "num_tiles": PAPER_TILES,
+            "num_components": PAPER_COMPONENTS,
+            "tile": PAPER_TILE_SIZE,
+            "stage_times_ms": {
+                "arith": times.arith,
+                "iq": times.iq,
+                "idwt": times.idwt,
+                "ict": times.ict,
+                "dc": times.dc,
+            },
+        }
+    # profile / layers / synthesise / wallclock: the parameters *are* the
+    # workload description.
+    return {"workload": request.kind, **request.params}
+
+
+def cache_key(request: RunRequest) -> Optional[CacheKey]:
+    """Content address of *request*; ``None`` for uncacheable kinds."""
+    if not request.cacheable:
+        return None
+    spec = request_spec(request)
+    spec_digest = fp.spec_hash(spec) if spec is not None else None
+    workload_digest = fp.sha256_hex(fp.canonical_json(workload_descriptor(request)))
+    code = fp.code_fingerprint(fp.subsystems_for_kind(request.kind))
+    material = {
+        "kind": request.kind,
+        "params": request.params,
+        "options": request.options,
+        "spec": spec_digest,
+        "workload": workload_digest,
+        "code": code,
+    }
+    return CacheKey(
+        key=fp.sha256_hex(fp.canonical_json(material)),
+        spec_hash=spec_digest,
+        workload_hash=workload_digest,
+        code_fingerprint=code,
+    )

@@ -1,0 +1,190 @@
+"""The sweep runner: requests in, results out, cache in between.
+
+One API for every consumer (benchmarks, CLI, artifact pipeline):
+
+``Runner.run(requests)``
+    Serve cache hits, deduplicate identical cells, execute the misses —
+    across a process pool when ``jobs > 1`` — and return results in
+    request order.
+
+``Runner.sweep(experiments)``
+    Batch the requests of several experiments into *one* ``run`` so a
+    cell shared between experiments (e.g. the synthesis runs feeding
+    both Table 2 and the LoC comparison) executes exactly once.
+
+The fan-out mirrors :mod:`repro.jpeg2000.parallel`: requests and
+payloads are small picklable plain data, ``ProcessPoolExecutor.map``
+preserves submission order, and any failure to *create or sustain* the
+pool falls back to in-process sequential execution — scheduling may
+change timing, never results.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Mapping, Optional
+
+from . import registry
+from .cache import ResultCache
+from .execute import timed_execute
+from .request import RunRequest, RunResult, cache_key
+
+try:  # pragma: no cover - exercised only when pools break mid-flight
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = OSError
+
+
+@dataclass
+class ExperimentResult:
+    """All results of one experiment, keyed by request id."""
+
+    experiment: registry.Experiment
+    results: Mapping[str, RunResult]
+
+    @property
+    def payloads(self) -> dict:
+        return {rid: result.payload for rid, result in self.results.items()}
+
+    def tables(self) -> dict:
+        """``{artefact stem: Table}`` — rendered from the payloads."""
+        return self.experiment.tables(self.payloads)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for result in self.results.values() if result.cached)
+
+    @property
+    def seconds(self) -> float:
+        return sum(result.seconds for result in self.results.values())
+
+
+@dataclass
+class Runner:
+    """Executes :class:`RunRequest` batches against the result cache.
+
+    ``jobs``
+        Worker processes for cache misses.  ``0``/``1`` run in-process;
+        higher values fan out (the value is honoured as given — on a
+        single-core host extra workers cost rather than help, which the
+        sweep bench records instead of hiding).
+    ``cache``
+        A :class:`ResultCache`, or ``None`` to disable caching entirely
+        (every cell recomputes, nothing is stored).
+    """
+
+    jobs: int = 0
+    cache: Optional[ResultCache] = None
+    #: Filled by ``run``: how the last batch was served.
+    last_stats: dict = field(default_factory=dict)
+
+    def run(self, requests: Iterable[RunRequest]) -> List[RunResult]:
+        requests = list(requests)
+        keys = [cache_key(req) for req in requests]
+        results: List[Optional[RunResult]] = [None] * len(requests)
+
+        # Cache pass + dedup: the first request with a given content
+        # address owns the execution slot, later ones alias its result.
+        # Dedup keys off the content address, so it works with caching
+        # disabled too — a shared cell never executes twice per batch.
+        pending: List[int] = []
+        owners: dict = {}
+        aliases: dict = {}
+        for index, (request, key) in enumerate(zip(requests, keys)):
+            if key is not None:
+                entry = self.cache.load(key) if self.cache is not None else None
+                if entry is not None:
+                    results[index] = RunResult(
+                        request=request,
+                        payload=entry["payload"],
+                        cached=True,
+                        seconds=float(entry.get("seconds", 0.0)),
+                        key=key,
+                    )
+                    continue
+                if key.key in owners:
+                    aliases.setdefault(owners[key.key], []).append(index)
+                    continue
+                owners[key.key] = index
+            pending.append(index)
+
+        executed = self._execute([requests[i] for i in pending])
+        for index, (payload, seconds) in zip(pending, executed):
+            payload = _normalise(payload)
+            key = keys[index]
+            results[index] = RunResult(
+                request=requests[index], payload=payload, seconds=seconds, key=key
+            )
+            if key is not None and self.cache is not None:
+                self.cache.store(key, requests[index], payload, seconds)
+            for alias in aliases.get(index, ()):
+                results[alias] = RunResult(
+                    request=requests[alias], payload=payload,
+                    seconds=seconds, key=keys[alias],
+                )
+
+        self.last_stats = {
+            "requests": len(requests),
+            "executed": len(pending),
+            "cached": sum(1 for r in results if r is not None and r.cached),
+            "deduplicated": sum(len(v) for v in aliases.values()),
+            "jobs": self.jobs,
+        }
+        return [result for result in results if result is not None]
+
+    def _execute(self, requests: List[RunRequest]) -> List[tuple]:
+        if not requests:
+            return []
+        if self.jobs and self.jobs > 1 and len(requests) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    # map() preserves submission order.
+                    return list(pool.map(timed_execute, requests))
+            except (OSError, ValueError, BrokenProcessPool):
+                # Restricted environments (no fork/semaphores) or a
+                # dying worker: same results, sequentially.
+                pass
+        return [timed_execute(request) for request in requests]
+
+    # -- experiment-level API ---------------------------------------------
+
+    def run_experiment(self, experiment) -> ExperimentResult:
+        if isinstance(experiment, str):
+            experiment = registry.get(experiment)
+        results = self.run(experiment.requests())
+        return ExperimentResult(
+            experiment=experiment,
+            results={result.rid: result for result in results},
+        )
+
+    def sweep(self, experiments) -> List[ExperimentResult]:
+        """Run several experiments as one deduplicated batch."""
+        if isinstance(experiments, str):
+            experiments = registry.expand(experiments)
+        experiments = [
+            registry.get(exp) if isinstance(exp, str) else exp
+            for exp in experiments
+        ]
+        flat: List[RunRequest] = []
+        spans = []
+        for experiment in experiments:
+            requests = experiment.requests()
+            spans.append((experiment, len(flat), len(flat) + len(requests)))
+            flat.extend(requests)
+        results = self.run(flat)
+        return [
+            ExperimentResult(
+                experiment=experiment,
+                results={result.rid: result for result in results[start:stop]},
+            )
+            for experiment, start, stop in spans
+        ]
+
+
+def _normalise(payload: dict) -> dict:
+    """JSON round-trip so computed and cache-served payloads are
+    *bit-identical* (tuples become lists, keys become strings — exactly
+    what a later cache read would return)."""
+    return json.loads(json.dumps(payload))

@@ -115,6 +115,58 @@ class DecodeBench:
         return payload
 
 
+class SweepBench:
+    """Trajectory payload for the experiment-engine sweep benchmark.
+
+    Records, for one experiment group (typically the full Table 1
+    matrix), the wall clock of a cold sequential sweep, a cold parallel
+    sweep, and a warm (fully cache-served) sweep — each measured in a
+    fresh subprocess so imports and cache state are honest — plus the
+    verdict that all three produced bit-identical result payloads, which
+    is the engine's core guarantee.
+    """
+
+    def __init__(self, group: str, jobs: int):
+        self.group = group
+        self.jobs = jobs
+        self.timings: dict[str, float] = {}
+        self.values_identical: Optional[bool] = None
+
+    def record(self, variant: str, seconds: float) -> None:
+        self.timings[variant] = seconds
+
+    def speedup(self, numerator: str, denominator: str) -> Optional[float]:
+        top = self.timings.get(numerator)
+        bottom = self.timings.get(denominator)
+        if not top or not bottom:
+            return None
+        return round(top / bottom, 3)
+
+    def payload(self, **extra) -> dict:
+        result = {
+            "schema": SCHEMA_VERSION,
+            "benchmark": "experiment sweep wall clock",
+            "machine": machine_info(),
+            "group": self.group,
+            "jobs": self.jobs,
+            "values_identical": self.values_identical,
+            "seconds": {k: round(v, 4) for k, v in self.timings.items()},
+            "speedups": {
+                "warm_vs_cold_sequential":
+                    self.speedup("cold-sequential", "warm"),
+                "parallel_vs_cold_sequential":
+                    self.speedup("cold-sequential", "cold-parallel"),
+            },
+        }
+        result.update(extra)
+        return result
+
+    def write(self, path: Path | str, **extra) -> dict:
+        payload = self.payload(**extra)
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        return payload
+
+
 class SimulationBench:
     """Trajectory payload for the simulation-substrate benchmark.
 

@@ -76,11 +76,12 @@ CHANNEL_TRAFFIC_COLUMNS = (
 def channel_traffic_row(version: str, stats, polls="n/a") -> tuple:
     """One bus-traffic table row from a channel's statistics.
 
-    *stats* is anything exposing ``as_dict()`` with ``transactions``,
-    ``words`` and ``wait_fs`` keys (``ChannelStats`` does); cells line up
+    *stats* is a plain mapping or anything exposing ``as_dict()`` with
+    ``transactions``, ``words`` and ``wait_fs`` keys (``ChannelStats``
+    does, and so do cache-served experiment payloads); cells line up
     with :data:`CHANNEL_TRAFFIC_COLUMNS`.
     """
-    data = stats.as_dict()
+    data = stats if isinstance(stats, dict) else stats.as_dict()
     return (
         version,
         data["transactions"],

@@ -1,0 +1,72 @@
+"""The artifact pipeline: results/ files regenerate byte-identically.
+
+Full-matrix regeneration is exercised by ``python -m repro results
+--regen --check`` (the CI drift job); here the cheap experiments prove
+byte-identity against the committed files, and the drift detection is
+driven against a scratch directory.
+"""
+
+import pytest
+
+from repro.experiments import ResultCache, Runner, artifacts, registry
+
+#: Registry entries cheap enough for the unit suite (< 1 s together).
+CHEAP = ("table2", "loc", "wallclock_decode")
+
+
+@pytest.fixture(scope="module")
+def cheap_files(tmp_path_factory):
+    runner = Runner(cache=ResultCache(tmp_path_factory.mktemp("cache")))
+    return artifacts.render_artifacts(registry.expand(list(CHEAP)), runner)
+
+
+class TestRenderArtifacts:
+    def test_covers_both_formats(self, cheap_files):
+        stems = {stem for entry in registry.expand(list(CHEAP))
+                 for stem in entry.artefacts}
+        assert set(cheap_files) == {
+            f"{stem}.{ext}" for stem in stems for ext in ("txt", "csv")
+        }
+
+    def test_byte_identical_to_committed_results(self, cheap_files):
+        for name, content in cheap_files.items():
+            committed = (artifacts.results_dir() / name).read_text(encoding="utf-8")
+            assert content == committed, f"results/{name} drifted"
+
+    def test_deterministic_across_renders(self, cheap_files, tmp_path):
+        again = artifacts.render_artifacts(
+            registry.expand(list(CHEAP)), Runner(cache=ResultCache(tmp_path))
+        )
+        assert again == cheap_files
+
+
+class TestRegenerateAndCheck:
+    def _runner(self, tmp_path):
+        return Runner(cache=ResultCache(tmp_path / "cache"))
+
+    def test_regenerate_then_check_clean(self, tmp_path):
+        experiments = registry.expand(list(CHEAP))
+        out = tmp_path / "results"
+        written = artifacts.regenerate(experiments, self._runner(tmp_path), out)
+        stems = sum(len(entry.artefacts) for entry in experiments)
+        assert len(written) == stems * 2  # txt + csv per stem
+        assert artifacts.check(experiments, self._runner(tmp_path), out) == []
+
+    def test_check_reports_drift_with_diff(self, tmp_path):
+        experiments = registry.expand(["wallclock_decode"])
+        out = tmp_path / "results"
+        artifacts.regenerate(experiments, self._runner(tmp_path), out)
+        victim = out / "wallclock_decode.txt"
+        victim.write_text(victim.read_text().replace("lossless", "lossful"))
+        drift = artifacts.check(experiments, self._runner(tmp_path), out)
+        assert len(drift) == 1
+        assert "wallclock_decode.txt" in drift[0]
+        assert "-" in drift[0] and "+" in drift[0]  # unified diff body
+
+    def test_check_reports_missing_file(self, tmp_path):
+        experiments = registry.expand(["wallclock_decode"])
+        out = tmp_path / "results"
+        artifacts.regenerate(experiments, self._runner(tmp_path), out)
+        (out / "wallclock_decode.csv").unlink()
+        drift = artifacts.check(experiments, self._runner(tmp_path), out)
+        assert any("missing" in report for report in drift)

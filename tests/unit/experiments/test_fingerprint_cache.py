@@ -1,0 +1,151 @@
+"""Cache-key material and the cache safety guard.
+
+The load-bearing satellite test: flipping one field of a design spec, or
+one byte of a fingerprinted source file, must change the content address
+(a cache miss) — and a corrupt or stale entry must be evicted and
+re-run, never returned.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.design import catalog
+from repro.experiments import (
+    CacheKey,
+    KIND_SIMULATE,
+    KIND_SYNTHESISE,
+    ResultCache,
+    RunRequest,
+    cache_key,
+)
+from repro.experiments import fingerprint as fp
+from repro.experiments.cache import CACHE_SCHEMA
+
+
+def _sim_request(**options):
+    return RunRequest(
+        "sim:6a:lossless", KIND_SIMULATE,
+        {"version": "6a", "lossless": True}, options,
+    )
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key(_sim_request()) == cache_key(_sim_request())
+
+    def test_params_and_options_are_identity_bearing(self):
+        base = cache_key(_sim_request())
+        lossy = cache_key(RunRequest(
+            "sim:6a:lossy", KIND_SIMULATE, {"version": "6a", "lossless": False}
+        ))
+        tweaked = cache_key(_sim_request(opb_burst_threshold_words=8))
+        assert base.key != lossy.key
+        assert base.key != tweaked.key
+
+    def test_rid_is_not_identity_bearing(self):
+        """Two experiments naming the same cell share one cache entry."""
+        renamed = dataclasses.replace(_sim_request(), rid="other:rid")
+        assert cache_key(renamed).key == cache_key(_sim_request()).key
+
+    def test_wallclock_requests_are_uncacheable(self):
+        request = RunRequest("wallclock", "wallclock", {"source": "x.json"})
+        assert not request.cacheable
+        assert cache_key(request) is None
+
+    def test_spec_field_flip_changes_key(self, monkeypatch):
+        """Satellite guard, part 1: one changed spec field == a miss."""
+        base = cache_key(_sim_request())
+        original = catalog.get("6a")
+        flipped = dataclasses.replace(original, label=original.label + " (flipped)")
+        monkeypatch.setattr(catalog, "get", lambda name: flipped)
+        changed = cache_key(_sim_request())
+        assert changed.spec_hash != base.spec_hash
+        assert changed.key != base.key
+
+    def test_source_byte_flip_changes_fingerprint(self, tmp_path):
+        """Satellite guard, part 2: one changed source byte == a miss."""
+        root = tmp_path / "repro"
+        for subsystem in ("design", "kernel"):
+            (root / subsystem).mkdir(parents=True)
+            (root / subsystem / "mod.py").write_text("VALUE = 1\n")
+        before = fp.code_fingerprint(("design", "kernel"), root=root)
+        (root / "kernel" / "mod.py").write_text("VALUE = 2\n")
+        after = fp.code_fingerprint(("design", "kernel"), root=root)
+        assert before != after
+
+    def test_fingerprint_ignores_unlisted_subsystems(self, tmp_path):
+        root = tmp_path / "repro"
+        (root / "design").mkdir(parents=True)
+        (root / "design" / "mod.py").write_text("VALUE = 1\n")
+        (root / "other").mkdir()
+        (root / "other" / "mod.py").write_text("VALUE = 1\n")
+        before = fp.code_fingerprint(("design",), root=root)
+        (root / "other" / "mod.py").write_text("VALUE = 2\n")
+        assert fp.code_fingerprint(("design",), root=root) == before
+
+    def test_synthesise_kind_hashes_fossy_sources(self):
+        assert "fossy" in fp.subsystems_for_kind(KIND_SYNTHESISE)
+        assert "fossy" not in fp.subsystems_for_kind(KIND_SIMULATE)
+
+
+class TestResultCache:
+    def _key(self, suffix=""):
+        return CacheKey(
+            key=f"deadbeef{suffix}", spec_hash="s1",
+            workload_hash="w1", code_fingerprint="c1",
+        )
+
+    def _store(self, cache, key):
+        cache.store(key, _sim_request(), {"decode_ms": 1.0}, seconds=0.5)
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._key()
+        assert cache.load(key) is None  # miss before store
+        self._store(cache, key)
+        entry = cache.load(key)
+        assert entry["payload"] == {"decode_ms": 1.0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_corrupt_entry_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._key()
+        self._store(cache, key)
+        path = tmp_path / f"{key.key}.json"
+        path.write_text("{ not json")
+        assert cache.load(key) is None
+        assert not path.exists(), "corrupt entry must be deleted"
+        assert cache.evictions == 1
+
+    @pytest.mark.parametrize("field", ["spec_hash", "workload_hash", "code_fingerprint"])
+    def test_stale_guard_field_is_evicted(self, tmp_path, field):
+        """An entry whose embedded guard hashes mismatch is never returned."""
+        cache = ResultCache(tmp_path)
+        key = self._key()
+        self._store(cache, key)
+        path = tmp_path / f"{key.key}.json"
+        entry = json.loads(path.read_text())
+        entry[field] = "stale"
+        path.write_text(json.dumps(entry))
+        assert cache.load(key) is None
+        assert not path.exists()
+        assert cache.evictions == 1
+
+    def test_old_schema_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._key()
+        self._store(cache, key)
+        path = tmp_path / f"{key.key}.json"
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA - 1
+        path.write_text(json.dumps(entry))
+        assert cache.load(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache, self._key("a"))
+        self._store(cache, self._key("b"))
+        assert cache.clear() == 2
+        assert cache.load(self._key("a")) is None

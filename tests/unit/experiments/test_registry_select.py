@@ -1,0 +1,83 @@
+"""The experiment registry and the one version-selection helper."""
+
+import pytest
+
+from repro.casestudy import build_table1
+from repro.design import catalog
+from repro.experiments import registry
+
+
+class TestCatalogSelect:
+    def test_default_is_row_order(self):
+        assert catalog.select() == list(catalog.ROW_ORDER)
+
+    def test_subset_is_reordered_and_deduplicated(self):
+        assert catalog.select(["7a", "1", "6a", "1"]) == ["1", "6a", "7a"]
+
+    def test_single_string(self):
+        assert catalog.select("6b") == ["6b"]
+
+    def test_layer_halves(self):
+        assert catalog.select(layer="application") == ["1", "2", "3", "4", "5"]
+        assert catalog.select(layer="vta") == ["6a", "6b", "7a", "7b"]
+
+    def test_ids_and_layer_compose(self):
+        assert catalog.select(["1", "6a", "7b"], layer="vta") == ["6a", "7b"]
+
+    def test_unknown_id_raises_with_vocabulary(self):
+        with pytest.raises(ValueError, match=r"'99'.*registered versions"):
+            catalog.select(["1", "99"])
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            catalog.select(layer="rtl")
+
+    def test_build_table1_routes_through_select(self):
+        with pytest.raises(ValueError, match="registered versions"):
+            build_table1(versions=["nope"])
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_have_owners(self):
+        stems = registry.artefact_stems()
+        for stem in (
+            "fig1_profile", "fig1_anchor",
+            "table1_application_layer", "table1_vta_layer",
+            "table1_vta_bus_traffic", "table2_synthesis", "table2_ratios",
+            "loc_comparison", "loc_states", "scaling_parallelism",
+            "wallclock_decode",
+        ):
+            assert stem in stems
+        assert len(stems) == len(set(stems)), "artefact stems must be unique"
+
+    def test_get_unknown_names_vocabulary(self):
+        with pytest.raises(KeyError, match="registered"):
+            registry.get("nope")
+
+    def test_expand_group(self):
+        entries = registry.expand("table1")
+        assert [e.id for e in entries] == [
+            "table1_application_layer", "table1_vta_layer",
+        ]
+
+    def test_expand_mixes_groups_and_ids_in_registry_order(self):
+        entries = registry.expand(["scaling", "table1"])
+        ids = [e.id for e in entries]
+        assert ids == ["table1_application_layer", "table1_vta_layer", "scaling"]
+
+    def test_expand_unknown_token(self):
+        with pytest.raises(KeyError, match="unknown experiment or group"):
+            registry.expand(["table1", "bogus"])
+
+    def test_all_group_covers_every_entry(self):
+        assert {e.id for e in registry.expand("all")} == set(registry.ids())
+
+    def test_requests_have_unique_rids_per_experiment(self):
+        for entry in registry.all_experiments():
+            rids = [request.rid for request in entry.requests()]
+            assert len(rids) == len(set(rids)), entry.id
+
+    def test_duplicate_registration_rejected(self):
+        entry = registry.get("fig1")
+        with pytest.raises(ValueError, match="registered twice"):
+            registry.register(entry)

@@ -1,0 +1,147 @@
+"""The sweep runner: cache integration, dedup, pool/sequential parity.
+
+The expensive simulation kinds are covered by the benchmarks; these
+tests drive the runner with the cheap ``synthesise`` and ``layers``
+kinds so the whole engine path (key -> cache -> execute -> normalise ->
+store) runs in well under a second.
+"""
+
+import pytest
+
+from repro.experiments import (
+    KIND_LAYERS,
+    KIND_SYNTHESISE,
+    ResultCache,
+    Runner,
+    RunRequest,
+    execute_request,
+)
+
+SYNTH_53 = RunRequest("synth:idwt53", KIND_SYNTHESISE, {"block": "idwt53"})
+SYNTH_97 = RunRequest("synth:idwt97", KIND_SYNTHESISE, {"block": "idwt97"})
+
+
+def _layers_request(rid="layers:1", count=1):
+    return RunRequest(
+        rid, KIND_LAYERS,
+        {"size": 32, "tile": 16, "levels": 2, "num_layers": 2,
+         "seed": 7, "layers": count},
+    )
+
+
+class TestRunner:
+    def test_results_preserve_request_order(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        results = runner.run([SYNTH_97, SYNTH_53])
+        assert [r.rid for r in results] == ["synth:idwt97", "synth:idwt53"]
+
+    def test_cold_then_warm(self, tmp_path):
+        cold = Runner(cache=ResultCache(tmp_path))
+        first = cold.run([SYNTH_53])[0]
+        assert not first.cached
+
+        warm = Runner(cache=ResultCache(tmp_path))
+        second = warm.run([SYNTH_53])[0]
+        assert second.cached
+        assert second.payload == first.payload  # bit-identical
+        assert warm.last_stats["executed"] == 0
+
+    def test_duplicate_cells_execute_once(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        renamed = RunRequest("other:rid", KIND_SYNTHESISE, {"block": "idwt53"})
+        results = runner.run([SYNTH_53, renamed])
+        assert runner.last_stats["executed"] == 1
+        assert runner.last_stats["deduplicated"] == 1
+        assert results[0].payload == results[1].payload
+
+    def test_dedup_without_cache(self):
+        runner = Runner(cache=None)
+        results = runner.run([SYNTH_53, SYNTH_53])
+        assert runner.last_stats["executed"] == 1
+        assert results[0].payload == results[1].payload
+
+    def test_no_cache_runner_stores_nothing(self, tmp_path):
+        Runner(cache=None).run([SYNTH_53])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_payloads_match_direct_execution(self, tmp_path):
+        """Runner results are the JSON-normalised interpreter payloads."""
+        import json
+
+        direct = json.loads(json.dumps(execute_request(SYNTH_53)))
+        result = Runner(cache=ResultCache(tmp_path)).run([SYNTH_53])[0]
+        assert result.payload == direct
+
+    def test_parallel_matches_sequential(self, tmp_path):
+        requests = [SYNTH_53, SYNTH_97,
+                    _layers_request(), _layers_request("layers:2", 2)]
+        sequential = Runner(cache=None).run(requests)
+        parallel = Runner(jobs=2, cache=None).run(requests)
+        assert [r.payload for r in parallel] == [r.payload for r in sequential]
+
+    def test_corrupt_cache_entry_reruns(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(cache=cache)
+        first = runner.run([SYNTH_53])[0]
+        path = tmp_path / f"{first.key.key}.json"
+        path.write_text("garbage")
+        again = Runner(cache=ResultCache(tmp_path))
+        second = again.run([SYNTH_53])[0]
+        assert not second.cached
+        assert second.payload == first.payload
+
+
+class TestExperimentApi:
+    def test_run_experiment_by_id(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        outcome = runner.run_experiment("table2")
+        assert set(outcome.payloads) == {"synth:idwt53", "synth:idwt97"}
+        tables = outcome.tables()
+        assert set(tables) == {"table2_synthesis", "table2_ratios"}
+        assert "FOSSY" in tables["table2_synthesis"].render()
+
+    def test_sweep_deduplicates_across_experiments(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        outcomes = runner.sweep(["table2", "loc"])
+        assert [o.experiment.id for o in outcomes] == ["table2", "loc"]
+        # table2 and loc share both synthesis cells.
+        assert runner.last_stats["executed"] == 2
+        assert runner.last_stats["deduplicated"] == 2
+        assert (
+            outcomes[0].payloads["synth:idwt53"]
+            == outcomes[1].payloads["synth:idwt53"]
+        )
+
+    def test_sweep_accepts_group_name(self, monkeypatch):
+        # Stub execution: this checks group expansion and result fan-in,
+        # not the (expensive) Table 1 simulations themselves.
+        monkeypatch.setattr(
+            Runner, "_execute",
+            lambda self, reqs: [({"stub": r.rid}, 0.0) for r in reqs],
+        )
+        runner = Runner(cache=None)
+        outcomes = runner.sweep("table1")
+        assert [o.experiment.id for o in outcomes] == [
+            "table1_application_layer", "table1_vta_layer",
+        ]
+        assert all(len(o.results) == 10 for o in outcomes)
+        # The two halves share the v1/v3 lossless cells.
+        assert runner.last_stats["deduplicated"] == 2
+
+    def test_telemetry_option_rides_into_cache(self, tmp_path):
+        """An instrumented run is its own cache cell, spans included."""
+        pytest.importorskip("repro.telemetry")
+        from repro.experiments import KIND_SIMULATE
+
+        plain = RunRequest("sim:2:lossless", KIND_SIMULATE,
+                           {"version": "2", "lossless": True})
+        instrumented = plain.with_options(telemetry=True)
+        runner = Runner(cache=ResultCache(tmp_path))
+        bare, rich = runner.run([plain, instrumented])
+        assert runner.last_stats["executed"] == 2  # distinct cells
+        assert bare.telemetry is None
+        assert rich.telemetry is not None and rich.telemetry["stage_shares"]
+
+        warm = Runner(cache=ResultCache(tmp_path)).run([instrumented])[0]
+        assert warm.cached
+        assert warm.telemetry == rich.telemetry

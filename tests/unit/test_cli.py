@@ -143,6 +143,76 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "9z"])
 
+    def test_table1_unknown_version_rejected(self):
+        with pytest.raises(SystemExit, match="registered versions"):
+            main(["table1", "--versions", "1", "99"])
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExperimentCli:
+    """The experiment-engine subcommands, driven on cheap experiments."""
+
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table1_application_layer" in out
+        assert "wallclock_decode" in out
+        assert "groups:" in out and "ablations" in out
+
+    def test_sweep_cold_then_warm(self, capsys, tmp_path):
+        args = ["sweep", "table2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "FOSSY" in cold
+        assert "cached=0" in cold
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "executed=0" in warm
+        # Same tables, whether computed or served from the cache.
+        assert warm.split("#")[0] == cold.split("#")[0]
+
+    def test_sweep_no_cache_leaves_directory_empty(self, capsys, tmp_path):
+        assert main(["sweep", "loc", "--no-cache",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "LoC" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit, match="unknown experiment or group"):
+            main(["sweep", "bogus"])
+
+    def test_results_requires_an_action(self):
+        with pytest.raises(SystemExit, match="--regen and/or --check"):
+            main(["results"])
+
+    def test_results_check_clean_for_cheap_experiment(self, capsys, tmp_path):
+        """The committed wallclock artifact reproduces byte-identically."""
+        assert main(["results", "--check", "--experiments", "wallclock_decode",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "reproduce byte-identically" in capsys.readouterr().out
+
+    def test_results_regen_writes_into_out_dir(self, capsys, tmp_path):
+        out = tmp_path / "results"
+        assert main(["results", "--regen", "--experiments", "table2",
+                     "--out", str(out), "--cache-dir", str(tmp_path / "c")]) == 0
+        assert (out / "table2_synthesis.txt").exists()
+        assert (out / "table2_ratios.csv").exists()
+
+    def test_results_check_reports_drift(self, capsys, tmp_path):
+        out = tmp_path / "results"
+        cache = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["results", "--regen", "--experiments", "table2",
+                     "--out", str(out)] + cache) == 0
+        victim = out / "table2_synthesis.txt"
+        assert "IDWT53" in victim.read_text()
+        victim.write_text(victim.read_text().replace("IDWT53", "IDWTXX"))
+        capsys.readouterr()
+        assert main(["results", "--check", "--experiments", "table2",
+                     "--out", str(out)] + cache) == 1
+        diff = capsys.readouterr().out
+        assert "table2_synthesis.txt" in diff
+        assert "IDWTXX" in diff  # the unified diff body is printed
