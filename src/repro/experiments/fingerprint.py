@@ -9,9 +9,10 @@ has changed.  Three hashes pin that down:
 * the *workload hash* — the geometry and stage-time profile a model
   decodes (computed by the runner from the request parameters);
 * :func:`code_fingerprint` — a hash over the sources of the subsystems a
-  run executes (``src/repro/{casestudy,design,jpeg2000,kernel,vta}`` plus
-  the experiment interpreter itself, and ``fossy`` for synthesis runs),
-  so editing a single byte of model code invalidates every cached cell.
+  run executes (``src/repro/{casestudy,core,design,jpeg2000,kernel,
+  telemetry,vta}`` plus the experiment interpreter itself, and ``fossy``
+  for synthesis runs), so editing a single byte of model code
+  invalidates every cached cell.
 
 All hashes are SHA-256 over canonical JSON / file bytes and therefore
 stable across processes, platforms and Python versions.
@@ -26,9 +27,19 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 #: Subsystems of ``src/repro`` whose sources every simulation/profile run
-#: depends on.  ``fossy`` is only pulled in by synthesis runs (see
-#: :func:`subsystems_for_kind`).
-DEFAULT_SUBSYSTEMS = ("casestudy", "design", "jpeg2000", "kernel", "vta")
+#: depends on: the model/workload layers, the ``core`` primitives they
+#: all build on (arbiter, timing, interfaces), and ``telemetry`` because
+#: span/metric summaries are embedded in cached payloads.  ``fossy`` is
+#: only pulled in by synthesis runs (see :func:`subsystems_for_kind`).
+DEFAULT_SUBSYSTEMS = (
+    "casestudy",
+    "core",
+    "design",
+    "jpeg2000",
+    "kernel",
+    "telemetry",
+    "vta",
+)
 
 #: Extra files hashed into every fingerprint: the request interpreter —
 #: its semantics (how options map onto model tweaks) are part of what a

@@ -22,6 +22,11 @@ _REGISTRY: dict = {}
 #: Named sweep groups, populated alongside the entries in ``defs.py``.
 GROUPS: dict = {}
 
+#: Set only once the ``defs`` import has completed; a non-empty
+#: ``_REGISTRY`` is not proof of that (the import may have died partway
+#: through registration).
+_LOADED = False
+
 
 @dataclass(frozen=True)
 class Experiment:
@@ -124,6 +129,16 @@ def artefact_stems() -> list:
 def _ensure_loaded() -> None:
     # The entry definitions import casestudy/fossy helpers; deferring the
     # import keeps ``repro.experiments`` importable without side effects
-    # and avoids circular imports at package-init time.
-    if not _REGISTRY:
+    # and avoids circular imports at package-init time.  On import
+    # failure the partial registrations are rolled back so a retry sees
+    # a clean registry instead of a spurious "registered twice".
+    global _LOADED
+    if _LOADED:
+        return
+    try:
         from . import defs  # noqa: F401  (registers on import)
+    except BaseException:
+        _REGISTRY.clear()
+        GROUPS.clear()
+        raise
+    _LOADED = True

@@ -82,13 +82,20 @@ class CacheKey:
 
 @dataclass
 class RunResult:
-    """One executed (or cache-served) request."""
+    """One executed (or cache-served) request.
+
+    ``deduplicated`` marks a batch alias: another request with the same
+    content address executed (and was timed); this one only shares the
+    payload, so its ``seconds`` stays 0.0 and timing aggregates count
+    the work exactly once.
+    """
 
     request: RunRequest
     payload: dict
     cached: bool = False
     seconds: float = 0.0
     key: Optional[CacheKey] = None
+    deduplicated: bool = False
 
     @property
     def rid(self) -> str:

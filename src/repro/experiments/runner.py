@@ -120,9 +120,12 @@ class Runner:
             if key is not None and self.cache is not None:
                 self.cache.store(key, requests[index], payload, seconds)
             for alias in aliases.get(index, ()):
+                # The owner's execution was timed; the alias only shares
+                # the payload (seconds stays 0.0 so aggregates do not
+                # double-count shared cells).
                 results[alias] = RunResult(
                     request=requests[alias], payload=payload,
-                    seconds=seconds, key=keys[alias],
+                    key=keys[alias], deduplicated=True,
                 )
 
         self.last_stats = {

@@ -75,6 +75,38 @@ class TestCacheKey:
         after = fp.code_fingerprint(("design", "kernel"), root=root)
         assert before != after
 
+    def test_default_subsystems_cover_runtime_packages(self):
+        """Every package a run executes is fingerprinted.
+
+        ``experiments`` machinery is covered via EXTRA_FILES,
+        ``reporting`` only renders tables from payloads (never cached),
+        and ``fossy`` joins for synthesis kinds — everything else must
+        be in DEFAULT_SUBSYSTEMS or edits there serve stale payloads.
+        """
+        root = fp.package_root()
+        runtime = {
+            path.name for path in root.iterdir()
+            if path.is_dir() and path.name not in
+            {"experiments", "reporting", "fossy", "__pycache__"}
+        }
+        assert runtime <= set(fp.DEFAULT_SUBSYSTEMS)
+
+    def test_core_and_telemetry_byte_flips_change_fingerprint(self, tmp_path):
+        """Regression: core primitives and cached telemetry summaries
+        are part of what a payload means, so both invalidate the key."""
+        assert "core" in fp.DEFAULT_SUBSYSTEMS
+        assert "telemetry" in fp.DEFAULT_SUBSYSTEMS
+        root = tmp_path / "repro"
+        for subsystem in fp.DEFAULT_SUBSYSTEMS:
+            (root / subsystem).mkdir(parents=True)
+            (root / subsystem / "mod.py").write_text("VALUE = 1\n")
+        base = fp.code_fingerprint(fp.DEFAULT_SUBSYSTEMS, root=root)
+        (root / "core" / "mod.py").write_text("VALUE = 2\n")
+        core_flip = fp.code_fingerprint(fp.DEFAULT_SUBSYSTEMS, root=root)
+        assert core_flip != base
+        (root / "telemetry" / "mod.py").write_text("VALUE = 2\n")
+        assert fp.code_fingerprint(fp.DEFAULT_SUBSYSTEMS, root=root) != core_flip
+
     def test_fingerprint_ignores_unlisted_subsystems(self, tmp_path):
         root = tmp_path / "repro"
         (root / "design").mkdir(parents=True)

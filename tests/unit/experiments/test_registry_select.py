@@ -81,3 +81,62 @@ class TestRegistry:
         entry = registry.get("fig1")
         with pytest.raises(ValueError, match="registered twice"):
             registry.register(entry)
+
+
+class TestRegistryLoading:
+    def test_failed_defs_import_rolls_back_partial_registrations(self):
+        """A defs import that dies partway must not leave a partial
+        registry behind: later calls would silently see a subset, and a
+        retry would hit a spurious "registered twice"."""
+        import sys
+
+        import repro.experiments as pkg
+
+        saved_registry = dict(registry._REGISTRY)
+        saved_groups = dict(registry.GROUPS)
+        saved_loaded = registry._LOADED
+        saved_module = sys.modules.get("repro.experiments.defs")
+        # ``from . import defs`` short-circuits to the package attribute
+        # when one exists; drop it so the import machinery actually runs.
+        saved_attr = pkg.__dict__.pop("defs", None)
+
+        partial = registry.Experiment(
+            id="partial", title="partial", category="ablation",
+            description="registered before the import dies",
+            artefacts=("partial_stem",),
+            build_requests=tuple, build_tables=lambda payloads: {},
+        )
+
+        class _DiesPartway:
+            def find_spec(self, name, path=None, target=None):
+                if name == "repro.experiments.defs":
+                    registry.register(partial)
+                    raise ImportError("defs import died partway")
+                return None
+
+        finder = _DiesPartway()
+        try:
+            registry._REGISTRY.clear()
+            registry.GROUPS.clear()
+            registry._LOADED = False
+            sys.modules.pop("repro.experiments.defs", None)
+            sys.meta_path.insert(0, finder)
+            with pytest.raises(ImportError, match="died partway"):
+                registry.ids()
+            assert registry._REGISTRY == {}, "partial registrations must roll back"
+            assert not registry._LOADED
+
+            sys.meta_path.remove(finder)
+            assert "fig1" in registry.ids()  # retry loads cleanly
+        finally:
+            if finder in sys.meta_path:
+                sys.meta_path.remove(finder)
+            registry._REGISTRY.clear()
+            registry._REGISTRY.update(saved_registry)
+            registry.GROUPS.clear()
+            registry.GROUPS.update(saved_groups)
+            registry._LOADED = saved_loaded
+            if saved_module is not None:
+                sys.modules["repro.experiments.defs"] = saved_module
+            if saved_attr is not None:
+                pkg.defs = saved_attr

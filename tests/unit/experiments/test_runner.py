@@ -53,6 +53,11 @@ class TestRunner:
         assert runner.last_stats["executed"] == 1
         assert runner.last_stats["deduplicated"] == 1
         assert results[0].payload == results[1].payload
+        # The alias shares the payload, not the owner's timing: timing
+        # aggregates must count the shared cell's work exactly once.
+        assert not results[0].deduplicated
+        assert results[1].deduplicated
+        assert results[1].seconds == 0.0
 
     def test_dedup_without_cache(self):
         runner = Runner(cache=None)
