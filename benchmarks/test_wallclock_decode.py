@@ -2,37 +2,49 @@
 
 The paper's bottleneck stage, measured for real: the paper workload
 (512x512 RGB in 128x128 tiles, Table 1's "16 tiles with 3 components")
-is decoded three ways —
+is decoded five ways —
 
 * ``reference-sequential`` — the readable ``t1``/``mq`` specification
   kernel, one block after another (the seed decode path);
 * ``fast-sequential`` — the optimised ``t1_fast`` kernel, still one
-  process;
-* ``parallel-4`` — the optimised kernel on a 4-worker process pool.
+  process, one block at a time;
+* ``batched-sequential`` — the chunk-at-a-time ``t1_fast`` entry point
+  (one set of closures and scratch buffers for the whole workload);
+* ``parallel-shm-4`` — 4 workers over the zero-copy shared-memory
+  arenas with size-aware code-block scheduling;
+* ``parallel-pickle-4`` — 4 workers over the legacy pickle transport
+  (the IPC-tax baseline the shared-memory path exists to beat).
 
-All three must produce byte-identical images and identical op counts.
-The timings and speedups are persisted to ``BENCH_decode.json`` at the
-repository root as the performance trajectory anchor for future PRs.
+All modes must produce byte-identical images and identical op counts.
+Each timed decode runs in a **fresh subprocess** (interleaved rounds,
+best-of-N), because in-process back-to-back decodes let heap growth and
+allocator state from earlier runs leak into later measurements.  The
+timings, speedups, and each variant's scheduling metadata (requested vs
+effective workers, granularity, degraded flag) are persisted to
+``BENCH_decode.json`` at the repository root as the performance
+trajectory for future PRs — on a 1-CPU host the "parallel" rows are
+honestly recorded as degraded sequential runs instead of silently
+passing for parallel numbers.
 
 Run with ``python -m pytest benchmarks/test_wallclock_decode.py -m slow``;
-it is skipped by default because the three decodes take minutes.
+it is skipped by default because the decodes take minutes.
 """
 
+import json
+import os
 import pathlib
+import subprocess
+import sys
+import tempfile
 
-import numpy as np
 import pytest
 
 from repro.jpeg2000 import (
     CodingParameters,
-    DecodeOptions,
-    Jpeg2000Decoder,
-    KERNEL_REFERENCE,
     encode_image,
-    shutdown_pool,
     synthetic_image,
 )
-from repro.reporting import DecodeBench, Table, time_call
+from repro.reporting import DecodeBench, Table
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_decode.json"
@@ -46,12 +58,52 @@ TILE = 128
 #: anchor — do not update when the code gets faster.
 SEED_SECONDS = {"lossless": 17.906, "lossy": 15.487}
 
-#: The decode schedules under comparison.
+#: The decode schedules under comparison, as DecodeOptions kwargs
+#: (kwargs, not objects, so they serialise into the child process).
 MODES = {
-    "reference-sequential": DecodeOptions(kernel=KERNEL_REFERENCE),
-    "fast-sequential": DecodeOptions(),
-    "parallel-4": DecodeOptions(workers=4, chunk_size=8),
+    "reference-sequential": {"kernel": "reference"},
+    "fast-sequential": {},
+    "batched-sequential": {"kernel": "batched"},
+    "parallel-shm-4": {"workers": 4, "chunk_size": 8},
+    "parallel-pickle-4": {"workers": 4, "chunk_size": 8, "shared_memory": False},
 }
+
+#: Interleaved timing rounds per variant (best-of).  The reference
+#: kernel is ~2x slower per decode, so it gets fewer rounds.
+ROUNDS = {"reference-sequential": 2}
+DEFAULT_ROUNDS = 3
+
+#: Child process body: decode the codestream file once under the given
+#: options, print seconds + image digests + op counts + schedule facts.
+#: The SEED_SECONDS anchor predates this harness but was also measured
+#: on a fresh interpreter (one decode per process), so best-of-N fresh
+#: subprocess numbers are directly comparable to it.
+_CHILD_BENCH = """
+import hashlib, json, pathlib, sys, time, warnings
+from repro.jpeg2000 import DecodeOptions, Jpeg2000Decoder, shutdown_pool
+
+codestream = pathlib.Path(sys.argv[1]).read_bytes()
+options = DecodeOptions(**json.loads(sys.argv[2]))
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore")  # degradation is reported via schedule_info
+    decoder = Jpeg2000Decoder(codestream, options=options)
+    t0 = time.perf_counter()
+    image = decoder.decode()
+    elapsed = time.perf_counter() - t0
+    shutdown_pool()
+digests = [
+    hashlib.sha256(
+        repr((c.dtype.str, c.shape)).encode() + c.tobytes()
+    ).hexdigest()
+    for c in image.components
+]
+print(json.dumps({
+    "seconds": elapsed,
+    "digests": digests,
+    "ops": {k: int(v) for k, v in decoder.ops.counts.items()},
+    "schedule": options.schedule_info(),
+}))
+"""
 
 
 def _codestream(lossless: bool) -> bytes:
@@ -69,6 +121,24 @@ def _codestream(lossless: bool) -> bytes:
     return encode_image(image, params)
 
 
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def _timed_decode(codestream_path: str, options_kwargs: dict, env: dict) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_BENCH, codestream_path,
+         json.dumps(options_kwargs)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
 @pytest.mark.slow
 def test_wallclock_16_tile_decode(emit):
     bench = DecodeBench(
@@ -77,6 +147,7 @@ def test_wallclock_16_tile_decode(emit):
             "tiles": (SIZE // TILE) ** 2,
             "tile_size": TILE,
             "num_levels": 3,
+            "protocol": "fresh subprocess per decode, interleaved best-of-N",
         },
         baseline="reference-sequential",
         seed_baseline_seconds=SEED_SECONDS,
@@ -85,25 +156,44 @@ def test_wallclock_16_tile_decode(emit):
         ["mode", "schedule", "seconds", "speedup vs reference", "speedup vs seed"],
         title="Entropy-decode wall clock - 16-tile workload",
     )
+    env = _child_env()
+    max_rounds = max(DEFAULT_ROUNDS, *ROUNDS.values())
     for mode_name, lossless in (("lossless", True), ("lossy", False)):
         codestream = _codestream(lossless)
-        images = {}
-        ops = {}
-        for schedule, options in MODES.items():
-            decoder = Jpeg2000Decoder(codestream, options=options)
-            seconds, image = time_call(decoder.decode)
+        with tempfile.NamedTemporaryFile(suffix=".j2c", delete=False) as handle:
+            handle.write(codestream)
+            codestream_path = handle.name
+        try:
+            best = {schedule: float("inf") for schedule in MODES}
+            digests = {}
+            ops = {}
+            # Interleaved rounds: one run of every variant per round, so
+            # a transient load spike on the host degrades all variants
+            # instead of silently biasing one.
+            for round_index in range(max_rounds):
+                for schedule, options_kwargs in MODES.items():
+                    if round_index >= ROUNDS.get(schedule, DEFAULT_ROUNDS):
+                        continue
+                    result = _timed_decode(codestream_path, options_kwargs, env)
+                    best[schedule] = min(best[schedule], result["seconds"])
+                    if round_index == 0:
+                        digests[schedule] = result["digests"]
+                        ops[schedule] = result["ops"]
+                        bench.record_schedule(schedule, result["schedule"])
+        finally:
+            os.unlink(codestream_path)
+        for schedule, seconds in best.items():
             bench.record(mode_name, schedule, seconds)
-            images[schedule] = image
-            ops[schedule] = decoder.ops.counts
-        # Parallel output must be byte-identical to sequential, and the
-        # modelled op counts must not depend on kernel or scheduling.
-        reference_image = images["reference-sequential"]
-        for schedule, image in images.items():
-            assert len(image.components) == len(reference_image.components)
-            for ours, theirs in zip(image.components, reference_image.components):
-                assert ours.dtype == theirs.dtype
-                assert np.array_equal(ours, theirs), f"{mode_name}/{schedule} differs"
-            assert ops[schedule] == ops["reference-sequential"]
+        # Every transport and kernel must be byte-identical to the
+        # reference, and the modelled op counts must not depend on
+        # kernel or scheduling.
+        for schedule in MODES:
+            assert digests[schedule] == digests["reference-sequential"], (
+                f"{mode_name}/{schedule} image differs from reference"
+            )
+            assert ops[schedule] == ops["reference-sequential"], (
+                f"{mode_name}/{schedule} op counts differ from reference"
+            )
         timings = bench.modes[mode_name]
         speedups = bench.speedups(mode_name)
         for schedule in MODES:
@@ -116,14 +206,27 @@ def test_wallclock_16_tile_decode(emit):
             )
         table.add_separator()
     emit(table, "wallclock_decode")
-    payload = bench.write(BENCH_FILE, byte_identical=True)
-    shutdown_pool()
+    payload = bench.write(BENCH_FILE, byte_identical=True, op_counts_identical=True)
 
-    # Acceptance gates of the perf PR that introduced this benchmark:
-    # the optimised kernel alone buys >= 1.3x, the parallel path >= 2.0x
-    # against the seed sequential decode.
+    # Acceptance gates: the optimised kernel alone buys >= 1.3x against
+    # the seed sequential decode, the batched kernel does not lose to
+    # per-block fast, and the parallel path >= 2.0x against seed.  The
+    # shm-vs-fast >= 1.5x gate only binds on a host with >= 4 CPUs —
+    # elsewhere the row is recorded (flagged degraded), not asserted.
     for mode_name in ("lossless", "lossy"):
         entry = payload["modes"][mode_name]
         assert entry["speedup_vs_seed"]["fast-sequential"] >= 1.3
-        assert entry["speedup_vs_seed"]["parallel-4"] >= 2.0
+        assert entry["speedup_vs_seed"]["batched-sequential"] >= 1.3
+        assert entry["speedup_vs_seed"]["parallel-shm-4"] >= 2.0
+        seconds = entry["seconds"]
+        assert seconds["batched-sequential"] <= seconds["fast-sequential"], (
+            "batched kernel must not lose to per-block fast kernel"
+        )
+        if (os.cpu_count() or 1) >= 4:
+            assert (
+                seconds["fast-sequential"] / seconds["parallel-shm-4"] >= 1.5
+            ), "shared-memory parallel decode under 1.5x on a multi-core host"
+    assert payload["schedules"]["parallel-shm-4"]["granularity"] in (
+        "codeblock/size-aware", "codeblock/sequential",
+    )
     assert BENCH_FILE.exists()

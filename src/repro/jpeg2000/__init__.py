@@ -17,10 +17,14 @@ from .codestream import (
 from .decoder import DecodingError, Jpeg2000Decoder, TileStages, decode_codestream
 from .encoder import EncodingError, Jpeg2000Encoder, encode_image
 from .parallel import (
+    KERNEL_BATCHED,
     KERNEL_FAST,
     KERNEL_REFERENCE,
+    BlockSpec,
     DecodeOptions,
+    ParallelDegradedWarning,
     decode_blocks,
+    decode_blocks_spec,
     shutdown_pool,
 )
 from .image import Image, TileGrid, synthetic_image
@@ -37,6 +41,7 @@ from .pipeline import (
 
 __all__ = [
     "ALL_STAGES",
+    "BlockSpec",
     "CodestreamError",
     "CodingParameters",
     "DecodeOptions",
@@ -45,8 +50,10 @@ __all__ = [
     "Image",
     "Jpeg2000Decoder",
     "Jpeg2000Encoder",
+    "KERNEL_BATCHED",
     "KERNEL_FAST",
     "KERNEL_REFERENCE",
+    "ParallelDegradedWarning",
     "STAGE_ARITH",
     "STAGE_DC",
     "STAGE_ICT",
@@ -58,6 +65,7 @@ __all__ = [
     "TileStages",
     "TranscodeError",
     "decode_blocks",
+    "decode_blocks_spec",
     "decode_codestream",
     "drop_layers",
     "encode_image",

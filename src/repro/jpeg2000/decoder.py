@@ -36,7 +36,12 @@ from .pipeline import (
     STAGE_IQ,
     StageOps,
 )
-from .parallel import DEFAULT_OPTIONS, DecodeOptions, decode_blocks
+from .parallel import (
+    DEFAULT_OPTIONS,
+    BlockSpec,
+    DecodeOptions,
+    decode_blocks_spec,
+)
 from .structure import band_shapes, codeblock_grid
 from .t2 import CodeBlockContribution, PacketBand, consume_sop, decode_packet
 
@@ -76,12 +81,23 @@ class TileStages:
 
     # -- stage 1: arithmetic decoding (Tier-2 + Tier-1) ---------------------------
 
-    def entropy_decode(self) -> list:
-        """Per component, the list of :class:`DecodedBand` planes."""
+    def entropy_specs(self) -> tuple:
+        """Tier-2 only: parse every packet, describe every code block.
+
+        Returns ``(layout, specs)``: *layout* is the per-component band
+        dict (the Tier-2 protocol state, needed again by
+        :meth:`scatter_entropy`) and *specs* is the tile's
+        :class:`~repro.jpeg2000.parallel.BlockSpec` list in scatter
+        order.  The packet bodies are left in place — the specs carry
+        ``(start, end)`` segment spans into ``self.data``
+        (``decode_packet(..., materialise=False)``), so the tile buffer
+        can be placed into a shared-memory arena without per-block
+        copies.  Tier-1 itself runs in
+        :func:`~repro.jpeg2000.parallel.decode_blocks_spec`.
+        """
         params = self.params
         shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
         bounds = _band_bounds(params)
-        components: list[list[DecodedBand]] = []
         per_component_bands: list[dict] = []
         for _ in range(params.num_components):
             bands: dict[tuple[int, str], PacketBand] = {}
@@ -134,44 +150,69 @@ class TileStages:
                     offset = consume_sop(self.data, offset, packet_sequence)
                 offset = decode_packet(
                     self.data, offset, packet_bands, res_bounds, layer,
-                    use_eph=params.use_eph,
+                    use_eph=params.use_eph, materialise=False,
                 )
                 packet_sequence += 1
-        # Every code block is an independent decode task; gather them all
-        # (across components and subbands) and let the scheduler in
-        # ``parallel.decode_blocks`` run them — sequentially or on the
-        # worker pool — before scattering results back into band planes.
-        tasks = []
+        # Every code block is an independent decode task; describe them
+        # all (across components and subbands) as segment-span specs in
+        # the fixed scatter order.
+        specs: list[BlockSpec] = []
         for comp_index in range(params.num_components):
             bands = per_component_bands[comp_index]
             for shape in shapes:
                 for block in bands[(shape.resolution, shape.orientation)].blocks:
                     geo = block.geometry
-                    tasks.append((
-                        block.data,
+                    specs.append(BlockSpec(
                         geo.width,
                         geo.height,
                         shape.orientation,
                         block.num_bitplanes,
                         block.num_passes,
+                        tuple(block.segments),
                     ))
-        results = iter(decode_blocks(tasks, self.options))
+        return per_component_bands, specs
+
+    def scatter_entropy(
+        self, layout: list, flat, offsets, ops: list, first: int = 0
+    ) -> list:
+        """Scatter a ``decode_blocks_spec`` result into band planes.
+
+        ``first`` is this tile's first block index within *flat* —
+        non-zero when the decoder batched several tiles' blocks into one
+        fan-out.  Returns the per-component :class:`DecodedBand` lists
+        and accumulates the per-block op counts into ``self.ops``.
+        """
+        params = self.params
+        shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
+        components: list[list[DecodedBand]] = []
+        index = first
         for comp_index in range(params.num_components):
-            bands = per_component_bands[comp_index]
+            bands = layout[comp_index]
             decoded: list[DecodedBand] = []
             for shape in shapes:
                 band = bands[(shape.resolution, shape.orientation)]
                 plane = np.zeros((shape.height, shape.width), dtype=np.int64)
                 for block in band.blocks:
                     geo = block.geometry
-                    values, block_ops = next(results)
-                    self.ops.add(STAGE_ARITH, block_ops)
+                    start = int(offsets[index])
+                    self.ops.add(STAGE_ARITH, ops[index])
                     plane[
                         geo.y0 : geo.y0 + geo.height, geo.x0 : geo.x0 + geo.width
-                    ] = values.reshape(geo.height, geo.width)
+                    ] = flat[start : start + geo.width * geo.height].reshape(
+                        geo.height, geo.width
+                    )
+                    index += 1
                 decoded.append(DecodedBand(shape.resolution, shape.orientation, plane))
             components.append(decoded)
         return components
+
+    def entropy_decode(self) -> list:
+        """Per component, the list of :class:`DecodedBand` planes."""
+        layout, specs = self.entropy_specs()
+        flat, offsets, ops = decode_blocks_spec(
+            [self.data], [(0, spec) for spec in specs], self.options
+        )
+        return self.scatter_entropy(layout, flat, offsets, ops)
 
     # -- stage 2: inverse quantisation ------------------------------------------------
 
@@ -248,6 +289,20 @@ class TileStages:
 
     # -- all stages ------------------------------------------------------------------------
 
+    def _staged(self, stage, fn, *args):
+        track = (
+            "decode" if self.tile_index is None else f"tile{self.tile_index}"
+        )
+        with telemetry.software_span("sw", stage, track, tile=self.tile_index):
+            return fn(*args)
+
+    def finish(self, bands: list) -> list:
+        """Stages 2–5 (IQ, IDWT, ICT, DC) on entropy-decoded *bands*."""
+        subbands = self._staged(STAGE_IQ, self.dequantise, bands)
+        planes = self._staged(STAGE_IDWT, self.inverse_dwt, subbands)
+        planes = self._staged(STAGE_ICT, self.inverse_mct, planes)
+        return self._staged(STAGE_DC, self.dc_shift, planes)
+
     def run(self) -> list:
         """Run the full tile pipeline; returns component sample planes.
 
@@ -256,21 +311,8 @@ class TileStages:
         trace of a software decode shows the Fig. 1 stage structure per
         tile without any bespoke counters.
         """
-        track = (
-            "decode" if self.tile_index is None else f"tile{self.tile_index}"
-        )
-
-        def staged(stage, fn, *args):
-            with telemetry.software_span(
-                "sw", stage, track, tile=self.tile_index
-            ):
-                return fn(*args)
-
-        bands = staged(STAGE_ARITH, self.entropy_decode)
-        subbands = staged(STAGE_IQ, self.dequantise, bands)
-        planes = staged(STAGE_IDWT, self.inverse_dwt, subbands)
-        planes = staged(STAGE_ICT, self.inverse_mct, planes)
-        return staged(STAGE_DC, self.dc_shift, planes)
+        bands = self._staged(STAGE_ARITH, self.entropy_decode)
+        return self.finish(bands)
 
 
 def qcd_delta(params: CodingParameters, resolution: int, orientation: str) -> float:
@@ -353,19 +395,61 @@ class Jpeg2000Decoder:
             tile_index=tile_index,
         )
 
+    def _tile_planes(self, grid: TileGrid) -> dict:
+        """Run every tile's pipeline; returns tile index → sample planes.
+
+        The sequential path runs tiles one after another
+        (:meth:`TileStages.run`).  The parallel path instead batches the
+        entropy stage at **code-block granularity across all tiles**:
+        every tile's Tier-2 parse contributes its block specs to one
+        :func:`~repro.jpeg2000.parallel.decode_blocks_spec` fan-out (one
+        arena pair, one size-aware schedule over the whole image), so
+        there is no per-tile barrier and a tile with one expensive block
+        cannot idle the pool.  Stages 2–5 then run per tile as usual.
+        """
+        stages_list = [
+            self.tile_stages(tile_index) for tile_index in range(grid.num_tiles)
+        ]
+        planes: dict[int, list] = {}
+        if self.options.parallel and grid.num_tiles > 1:
+            sources: list = []
+            spec_pairs: list = []
+            layouts: list = []
+            firsts: list = []
+            with telemetry.software_span("sw", STAGE_ARITH, "decode"):
+                for stages in stages_list:
+                    layout, specs = stages.entropy_specs()
+                    firsts.append(len(spec_pairs))
+                    source_index = len(sources)
+                    sources.append(stages.data)
+                    spec_pairs.extend((source_index, spec) for spec in specs)
+                    layouts.append(layout)
+                flat, offsets, ops = decode_blocks_spec(
+                    sources, spec_pairs, self.options
+                )
+            for tile_index, stages in enumerate(stages_list):
+                bands = stages.scatter_entropy(
+                    layouts[tile_index], flat, offsets, ops, firsts[tile_index]
+                )
+                planes[tile_index] = stages.finish(bands)
+                self.ops.merge(stages.ops)
+            return planes
+        for tile_index, stages in enumerate(stages_list):
+            planes[tile_index] = stages.run()
+            self.ops.merge(stages.ops)
+        return planes
+
     def decode(self) -> Image:
         params = self.parameters
         grid = TileGrid(params.width, params.height, params.tile_width, params.tile_height)
         if self.max_resolution is None:
+            tile_planes = self._tile_planes(grid)
             components = [
                 np.zeros((params.height, params.width), dtype=np.int64)
                 for _ in range(params.num_components)
             ]
             for tile_index in range(grid.num_tiles):
-                stages = self.tile_stages(tile_index)
-                planes = stages.run()
-                self.ops.merge(stages.ops)
-                for component, plane in zip(components, planes):
+                for component, plane in zip(components, tile_planes[tile_index]):
                     grid.insert(component, tile_index, plane)
             return Image(components=components, bit_depth=params.bit_depth)
         return self._decode_reduced(grid)
@@ -373,11 +457,7 @@ class Jpeg2000Decoder:
     def _decode_reduced(self, grid: TileGrid) -> Image:
         """Assemble the resolution-truncated mosaic (tiles shrink per axis)."""
         params = self.parameters
-        tile_planes: dict[int, list] = {}
-        for tile_index in range(grid.num_tiles):
-            stages = self.tile_stages(tile_index)
-            tile_planes[tile_index] = stages.run()
-            self.ops.merge(stages.ops)
+        tile_planes = self._tile_planes(grid)
         # Cumulative offsets from the reduced per-tile sizes.
         widths = [
             tile_planes[tx][0].shape[1] for tx in range(grid.tiles_across)

@@ -5,43 +5,114 @@ arithmetic decoder, and its case study answers by parallelising exactly
 that stage across tasks.  This module is the software mirror of that
 move: EBCOT code blocks are coded independently, so once Tier-2 has
 sliced the packet bodies into per-block codeword segments, every block
-can be decoded in isolation.  A block task is a small picklable tuple
-(segment bytes + geometry in, coefficient array out), which makes the
-stage embarrassingly parallel over a process pool.
+can be decoded in isolation.
 
-:class:`DecodeOptions` selects the kernel (optimised ``t1_fast`` vs the
-reference ``t1``), the worker count, and the chunking used to amortise
-inter-process transfer.  ``workers=0`` is the sequential in-process
-fallback — also used automatically when a pool cannot be created (no
-fork support, sandboxed semaphores, interpreter shutdown).
+Two transport layers exist for the worker pool:
 
-Both kernels return bit-identical coefficients and identical basic-op
-counts, so the Fig. 1 / Table 1 instrumentation is unaffected by how the
-work is scheduled.
+* **Shared-memory arenas** (the default when the host supports
+  ``multiprocessing.shared_memory``): the tile buffers are placed into
+  one input arena verbatim, workers attach zero-copy views and resolve
+  each block's codeword from its ``(start, end)`` segment spans, and the
+  decoded ``int32`` coefficients are written straight into a shared
+  output arena.  The only pickled traffic is the arena names, the span
+  tables, and the per-block op counts — a few kilobytes instead of the
+  full coefficient planes.
+* **Pickle chunks** (the fallback when shared memory is unavailable —
+  no ``/dev/shm``, sandboxed shm_open, exotic platforms): per-block
+  codeword bytes ship to the workers and coefficient arrays ship back,
+  both through the executor's pickle channel.
+
+Scheduling is at *code-block* granularity in both transports.  The
+shared-memory path additionally plans its chunks **size-aware**
+(largest-first into the least-loaded chunk) so one giant block cannot
+serialise the tail of the decode, and decodes each chunk through the
+*batched* Tier-1 kernel (:func:`repro.jpeg2000.t1_fast.decode_codeblock_batch`)
+so the per-block Python overhead is paid once per chunk.
+
+:class:`DecodeOptions` selects the kernel (``fast``, ``batched``, or
+the ``reference`` specification kernel), the worker count, chunking, the
+pool start method, and whether shared memory may be used.  ``workers=0``
+is the sequential in-process fallback — also used automatically when a
+pool cannot be created.  When a parallel request silently degrades to a
+sequential run (the ``os.cpu_count()`` clamp, a failed pool), a
+:class:`ParallelDegradedWarning` is emitted so benchmarks cannot
+mistake a sequential run for a parallel one.
+
+All kernels and transports return bit-identical coefficients and
+identical basic-op counts, so the Fig. 1 / Table 1 instrumentation is
+unaffected by how the work is scheduled.
 """
 
 from __future__ import annotations
 
 import atexit
+import heapq
+import math
 import os
+import pickle
+import uuid
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from multiprocessing import get_context
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .t1 import CodeBlockDecoder
-from .t1_fast import FastCodeBlockDecoder
+from .t1_fast import FastCodeBlockDecoder, decode_codeblock_batch
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    shared_memory = None
 
 #: Kernel names accepted by :class:`DecodeOptions`.
 KERNEL_FAST = "fast"
 KERNEL_REFERENCE = "reference"
-_KERNELS = (KERNEL_FAST, KERNEL_REFERENCE)
+KERNEL_BATCHED = "batched"
+_KERNELS = (KERNEL_FAST, KERNEL_REFERENCE, KERNEL_BATCHED)
+
+#: Pool start methods accepted by :class:`DecodeOptions` (None = platform
+#: default).
+_START_METHODS = (None, "fork", "spawn", "forkserver")
 
 #: A picklable per-block decode task:
 #: (data, width, height, orientation, num_bitplanes, num_passes).
 BlockTask = tuple
+
+#: Shared-memory arena name prefix — short enough for macOS's 31-char
+#: shm_open limit, distinctive enough for the leak checks in CI.
+ARENA_PREFIX = "repro-j2k-"
+
+#: Blocks with more bit planes than this cannot be carried in the int32
+#: output arena; such (pathological) streams take the pickle path.
+_MAX_ARENA_BITPLANES = 30
+
+
+class ParallelDegradedWarning(RuntimeWarning):
+    """A parallel decode request is actually running sequentially."""
+
+
+#: Warn once per distinct degradation, not once per tile.
+_degradations_warned: set = set()
+
+
+def _warn_degraded(requested: int, effective: int, reason: str) -> None:
+    key = (requested, effective, reason)
+    if key in _degradations_warned:
+        return
+    _degradations_warned.add(key)
+    telemetry.count("jpeg2000.parallel.degraded")
+    warnings.warn(
+        f"parallel decode requested {requested} workers but is running "
+        f"with {effective} ({reason}); wall-clock numbers from this run "
+        f"are sequential numbers",
+        ParallelDegradedWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -52,16 +123,34 @@ class DecodeOptions:
         Worker processes for block decoding.  0 or 1 decodes
         sequentially in-process; ``None`` picks ``os.cpu_count()``.
     ``chunk_size``
-        Blocks per unit of work shipped to a worker; larger chunks
-        amortise pickling overhead, smaller chunks balance better.
+        Upper bound on blocks per unit of work shipped to a worker;
+        larger chunks amortise per-chunk overhead, smaller chunks
+        balance better.  The shared-memory scheduler plans size-aware
+        chunks up to this bound.
     ``kernel``
-        ``"fast"`` (the optimised ``t1_fast`` kernel, default) or
-        ``"reference"`` (the readable ``t1`` specification kernel).
+        ``"fast"`` (the optimised ``t1_fast`` kernel, default),
+        ``"batched"`` (the chunk-at-a-time ``t1_fast`` entry point —
+        what shared-memory workers always run), or ``"reference"``
+        (the readable ``t1`` specification kernel).
+    ``shared_memory``
+        Allow the zero-copy shared-memory transport (default).  Off, or
+        when arenas cannot be created, the pickle transport is used.
+    ``start_method``
+        Multiprocessing start method for the pool (``None`` = platform
+        default; ``"fork"``/``"spawn"``/``"forkserver"``).
+    ``oversubscribe``
+        Allow more workers than ``os.cpu_count()``.  Off by default:
+        extra workers usually only add overhead — but tests (and hosts
+        whose workers stall on IO) may want real worker processes even
+        on a small machine.
     """
 
     workers: Optional[int] = 0
     chunk_size: int = 8
     kernel: str = KERNEL_FAST
+    shared_memory: bool = True
+    start_method: Optional[str] = None
+    oversubscribe: bool = False
 
     def __post_init__(self):
         if self.workers is not None and self.workers < 0:
@@ -70,24 +159,105 @@ class DecodeOptions:
             raise ValueError("chunk_size must be >= 1")
         if self.kernel not in _KERNELS:
             raise ValueError(f"kernel must be one of {_KERNELS}")
+        if self.start_method not in _START_METHODS:
+            raise ValueError(f"start_method must be one of {_START_METHODS}")
+
+    @property
+    def requested_workers(self) -> int:
+        """The worker count as asked for, before any host clamping."""
+        return (os.cpu_count() or 1) if self.workers is None else self.workers
 
     @property
     def effective_workers(self) -> int:
-        # Clamped to the host's CPU count: extra workers only add pool
-        # and pickling overhead (BENCH_decode.json showed parallel-4 on a
-        # 1-CPU machine gaining nothing over fast-sequential).
-        cpus = os.cpu_count() or 1
-        if self.workers is None:
-            return cpus
-        return min(self.workers, cpus)
+        # Clamped to the host's CPU count unless oversubscription is
+        # explicitly requested: extra workers only add pool and transport
+        # overhead.  A clamp that turns a parallel request sequential is
+        # *reported* (ParallelDegradedWarning) by the decode entry points.
+        requested = self.requested_workers
+        if self.oversubscribe:
+            return requested
+        return min(requested, os.cpu_count() or 1)
 
     @property
     def parallel(self) -> bool:
         return self.effective_workers > 1
 
+    @property
+    def degraded(self) -> bool:
+        """True when a parallel request will actually run sequentially."""
+        return self.requested_workers > 1 and not self.parallel
+
+    @property
+    def granularity(self) -> str:
+        """Scheduling granularity label recorded in benchmark payloads."""
+        if not self.parallel:
+            return "codeblock/sequential"
+        if self.shared_memory and shared_memory is not None:
+            return "codeblock/size-aware"
+        return "codeblock/fixed"
+
+    def schedule_info(self) -> dict:
+        """The scheduling facts a benchmark row must carry (schema v2)."""
+        return {
+            "requested_workers": self.requested_workers,
+            "effective_workers": self.effective_workers,
+            "degraded": self.degraded,
+            "chunk_size": self.chunk_size,
+            "kernel": self.kernel,
+            "granularity": self.granularity,
+            "shared_memory": self.shared_memory,
+            "start_method": self.start_method,
+            "oversubscribe": self.oversubscribe,
+        }
+
 
 #: Default options: sequential, fast kernel.
 DEFAULT_OPTIONS = DecodeOptions()
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One code block's geometry plus its codeword's segment spans.
+
+    The spans point into a *source* buffer (a tile-part's bytes) that is
+    shipped to the workers once, via the shared input arena — the spec
+    itself is a few dozen bytes of picklable metadata, which is the whole
+    point of the zero-copy protocol.
+    """
+
+    width: int
+    height: int
+    orientation: str
+    num_bitplanes: int
+    num_passes: Optional[int]
+    segments: tuple = ()
+
+    @property
+    def size(self) -> int:
+        return self.width * self.height
+
+    @property
+    def cost(self) -> int:
+        """Scheduling weight: codeword bytes dominate decode time."""
+        return sum(end - start for start, end in self.segments) + 1
+
+    def codeword(self, source) -> bytes:
+        """The block's MQ codeword, joined from its spans into *source*."""
+        segments = self.segments
+        if len(segments) == 1:
+            start, end = segments[0]
+            return bytes(source[start:end])
+        return b"".join(bytes(source[start:end]) for start, end in segments)
+
+    def rebased(self, base: int) -> "BlockSpec":
+        """The same spec with spans shifted by *base* (arena placement)."""
+        if not base:
+            return self
+        return BlockSpec(
+            self.width, self.height, self.orientation,
+            self.num_bitplanes, self.num_passes,
+            tuple((start + base, end + base) for start, end in self.segments),
+        )
 
 
 def decode_block(task: BlockTask, kernel: str = KERNEL_FAST):
@@ -101,44 +271,215 @@ def decode_block(task: BlockTask, kernel: str = KERNEL_FAST):
     return values, decoder.ops
 
 
+def _decode_tasks_sequential(tasks: Sequence[BlockTask], kernel: str) -> list:
+    """In-process decode of *tasks*, honouring the batched kernel."""
+    if kernel == KERNEL_BATCHED and tasks and all(
+        task[4] <= _MAX_ARENA_BITPLANES for task in tasks
+    ):
+        batch = []
+        offset = 0
+        for data, width, height, orientation, num_bitplanes, num_passes in tasks:
+            batch.append(
+                (data, width, height, orientation, num_bitplanes, num_passes, offset)
+            )
+            offset += width * height
+        out, op_counts = decode_codeblock_batch(batch)
+        results = []
+        for (_, width, height, _, _, _, offset), ops in zip(batch, op_counts):
+            results.append((out[offset:offset + width * height], ops))
+        return results
+    single = KERNEL_FAST if kernel == KERNEL_BATCHED else kernel
+    return [decode_block(task, single) for task in tasks]
+
+
 def _decode_chunk(payload):
-    """Worker entry point: decode a chunk of block tasks."""
+    """Pickle-transport worker entry point: decode a chunk of tasks."""
     kernel, tasks = payload
-    return [decode_block(task, kernel) for task in tasks]
+    return _decode_tasks_sequential(tasks, kernel)
 
 
-def _chunked(tasks: Sequence[BlockTask], chunk_size: int) -> Iterable[Sequence[BlockTask]]:
+def _chunked(tasks: Sequence, chunk_size: int) -> Iterable[Sequence]:
     for start in range(0, len(tasks), chunk_size):
         yield tasks[start : start + chunk_size]
 
 
-# One cached pool per process; re-created only when the worker count
-# changes.  Spawning a pool per tile would dominate small decodes.
+def plan_chunks(costs: Sequence[int], workers: int, chunk_size: int) -> list:
+    """Size-aware chunk plan: lists of block indices, balanced by cost.
+
+    Blocks are placed largest-first into the currently lightest chunk
+    (LPT scheduling), with at most ``chunk_size`` blocks per chunk and
+    enough chunks for every worker to see several — so one expensive
+    block cannot serialise the tail of the decode, and small blocks
+    backfill around the big ones.
+    """
+    n = len(costs)
+    if n == 0:
+        return []
+    num_chunks = max(math.ceil(n / chunk_size), min(n, workers * 4))
+    order = sorted(range(n), key=lambda i: costs[i], reverse=True)
+    chunks: list[list[int]] = [[] for _ in range(num_chunks)]
+    heap = [(0, index) for index in range(num_chunks)]
+    heapq.heapify(heap)
+    full: list = []
+    for block in order:
+        cost, index = heapq.heappop(heap)
+        chunks[index].append(block)
+        if len(chunks[index]) < chunk_size:
+            heapq.heappush(heap, (cost + costs[block], index))
+        else:
+            full.append(index)
+    return [chunk for chunk in chunks if chunk]
+
+
+# One cached pool per (worker count, start method); re-created only when
+# either changes.  Spawning a pool per tile would dominate small decodes.
 _pool: Optional[ProcessPoolExecutor] = None
-_pool_workers: int = 0
+_pool_key: Optional[tuple] = None
 
 
-def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
-    global _pool, _pool_workers
-    if _pool is not None and _pool_workers == workers:
+def _get_pool(workers: int, start_method: Optional[str] = None) -> Optional[ProcessPoolExecutor]:
+    global _pool, _pool_key
+    key = (workers, start_method)
+    if _pool is not None and _pool_key == key:
         return _pool
     shutdown_pool()
     try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-    except (OSError, PermissionError, RuntimeError):
+        context = get_context(start_method) if start_method else None
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    except (OSError, PermissionError, RuntimeError, ValueError):
         return None  # no pool available here: sequential fallback
     _pool = pool
-    _pool_workers = workers
+    _pool_key = key
     return pool
 
 
-def shutdown_pool() -> None:
-    """Tear down the cached worker pool (also runs at interpreter exit)."""
-    global _pool, _pool_workers
+# -- shared-memory arenas ---------------------------------------------------------
+
+#: Arenas created by this process and not yet unlinked.  ``shutdown_pool``
+#: and the atexit hook sweep this, so segments cannot outlive the process
+#: even if a decode aborted mid-flight.
+_live_arenas: dict = {}
+
+
+class SharedArena:
+    """One shared-memory segment with create/attach/cleanup discipline.
+
+    The creating side registers the arena in a module-level registry
+    that :func:`shutdown_pool` (and interpreter exit) sweeps — so a
+    worker crash, an exception mid-decode, or a forgotten handle can
+    never leak a ``/dev/shm`` segment past the process.
+    """
+
+    def __init__(self, size: int):
+        if shared_memory is None:  # pragma: no cover - guarded by callers
+            raise OSError("multiprocessing.shared_memory unavailable")
+        name = f"{ARENA_PREFIX}{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        self._shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, size))
+        self.size = size
+        _live_arenas[self.name] = self
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        _live_arenas.pop(self.name, None)
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def _sweep_arenas() -> None:
+    for arena in list(_live_arenas.values()):
+        arena.destroy()
+
+
+def _join_segments(view, segments) -> bytes:
+    if len(segments) == 1:
+        start, end = segments[0]
+        return bytes(view[start:end])
+    return b"".join(bytes(view[start:end]) for start, end in segments)
+
+
+def _decode_chunk_shm(payload):
+    """Shared-memory worker entry point: decode a chunk of block specs.
+
+    ``payload`` is (input arena name, output arena name, kernel,
+    blocks) where each block is (out_offset, width, height, orientation,
+    num_bitplanes, num_passes, segments).  Coefficients go straight into
+    the output arena; only (pid, per-block op counts) travel back.
+    """
+    in_name, out_name, kernel, blocks = payload
+    # Attaching re-registers the segments with the resource tracker, but
+    # pool children share the parent's tracker (its fd travels in the
+    # spawn/fork preparation data), where the duplicate is a set add —
+    # the parent's unlink unregisters exactly once.  Do NOT unregister
+    # here: that would strip the parent's registration and turn its
+    # unlink into tracker KeyError noise.
+    src = shared_memory.SharedMemory(name=in_name)
+    dst = shared_memory.SharedMemory(name=out_name)
+    out = np.frombuffer(dst.buf, dtype=np.int32)
+    error = None
+    op_counts = None
+    try:
+        view = src.buf
+        if kernel == KERNEL_REFERENCE:
+            op_counts = []
+            for offset, width, height, orientation, num_bitplanes, num_passes, segments in blocks:
+                data = _join_segments(view, segments)
+                decoder = CodeBlockDecoder(
+                    data, width, height, orientation, num_bitplanes, num_passes
+                )
+                out[offset:offset + width * height] = decoder.decode()
+                op_counts.append(decoder.ops)
+        else:
+            batch = [
+                (
+                    _join_segments(view, segments),
+                    width, height, orientation, num_bitplanes, num_passes, offset,
+                )
+                for offset, width, height, orientation, num_bitplanes, num_passes, segments
+                in blocks
+            ]
+            op_counts = decode_codeblock_batch(batch, out)[1]
+    except BaseException as exc:
+        # Carry the failure as a string: re-raising after the buffers are
+        # released keeps the traceback from pinning views over the mmap,
+        # which would turn close() into a BufferError that masks it.
+        error = f"{type(exc).__name__}: {exc}"
+    del out
+    src.close()
+    dst.close()
+    if error is not None:
+        raise RuntimeError(f"shared-memory chunk decode failed: {error}")
+    return os.getpid(), op_counts
+
+
+def _close_pool() -> None:
+    """Tear down only the cached executor (arenas untouched — the
+    broken-pool resume path still reads from them)."""
+    global _pool, _pool_key
     if _pool is not None:
         _pool.shutdown(wait=True, cancel_futures=True)
         _pool = None
-        _pool_workers = 0
+        _pool_key = None
+
+
+def shutdown_pool() -> None:
+    """Tear down the cached worker pool and any live shared-memory
+    arenas (also runs at interpreter exit)."""
+    _close_pool()
+    _sweep_arenas()
 
 
 atexit.register(shutdown_pool)
@@ -149,23 +490,266 @@ def decode_blocks(
 ) -> list:
     """Decode *tasks* in order; returns [(coefficient array, ops), ...].
 
-    Results are position-matched to the input regardless of scheduling,
-    and the parallel path is byte-identical to the sequential one — the
-    only observable difference is wall-clock time.
+    This is the pickle-transport path (per-block bytes in, arrays out);
+    :func:`decode_blocks_spec` is the zero-copy shared-memory protocol
+    the decoder itself uses.  Results are position-matched to the input
+    regardless of scheduling, and the parallel path is byte-identical to
+    the sequential one — the only observable difference is wall-clock
+    time.
+
+    A broken pool (a worker crashed or was killed) degrades gracefully:
+    chunks that already completed keep their results, and only the
+    missing chunks are re-decoded in-process.
     """
     kernel = options.kernel
+    if options.degraded:
+        _warn_degraded(
+            options.requested_workers, options.effective_workers,
+            "clamped to os.cpu_count()",
+        )
     if not options.parallel or len(tasks) <= 1:
-        return [decode_block(task, kernel) for task in tasks]
-    pool = _get_pool(options.effective_workers)
+        return _decode_tasks_sequential(tasks, kernel)
+    pool = _get_pool(options.effective_workers, options.start_method)
     if pool is None:
-        return [decode_block(task, kernel) for task in tasks]
+        _warn_degraded(options.requested_workers, 1, "worker pool unavailable")
+        return _decode_tasks_sequential(tasks, kernel)
     payloads = [(kernel, chunk) for chunk in _chunked(tasks, options.chunk_size)]
+    if telemetry.enabled():
+        telemetry.count(
+            "jpeg2000.parallel.bytes_pickled",
+            sum(len(task[0]) for task in tasks),
+        )
+    futures = [pool.submit(_decode_chunk, payload) for payload in payloads]
     try:
-        chunk_results = list(pool.map(_decode_chunk, payloads))
-    except BrokenProcessPool:  # pragma: no cover - defensive
-        shutdown_pool()
-        return [decode_block(task, kernel) for task in tasks]
+        chunk_results = [future.result() for future in futures]
+    except BrokenProcessPool:
+        _close_pool()
+        telemetry.count("jpeg2000.parallel.broken_pools")
+        chunk_results = []
+        resumed = redecoded = 0
+        for future, (chunk_kernel, chunk) in zip(futures, payloads):
+            result = None
+            if future.done() and not future.cancelled():
+                try:
+                    result = future.result()
+                except BaseException:
+                    result = None
+            if result is None:
+                result = _decode_tasks_sequential(chunk, chunk_kernel)
+                redecoded += 1
+            else:
+                resumed += 1
+            chunk_results.append(result)
+        telemetry.count("jpeg2000.parallel.chunks_resumed", resumed)
+        telemetry.count("jpeg2000.parallel.chunks_redecoded", redecoded)
     results: list = []
     for chunk in chunk_results:
         results.extend(chunk)
     return results
+
+
+#: Bucket bounds for the per-worker occupancy histogram (blocks decoded
+#: by one worker in one fan-out).
+_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+def _record_occupancy(worker_blocks: dict) -> None:
+    recorder = telemetry.active()
+    if recorder is None or not worker_blocks:
+        return
+    histogram = recorder.metrics.histogram(
+        "jpeg2000.parallel.worker_blocks", _OCCUPANCY_BUCKETS
+    )
+    for blocks in worker_blocks.values():
+        histogram.observe(blocks)
+
+
+def _decode_specs_shm(sources, specs, sizes, offsets, options):
+    """The zero-copy fan-out.  Returns (flat int32 array, ops) or None.
+
+    ``None`` means the shared-memory transport is unusable here (no shm
+    support, arena creation failed, no pool) and the caller should fall
+    back to the pickle transport.
+    """
+    if shared_memory is None or not options.shared_memory:
+        return None
+    workers = options.effective_workers
+    pool = _get_pool(workers, options.start_method)
+    if pool is None:
+        return None
+    source_bases = []
+    total_in = 0
+    for source in sources:
+        source_bases.append(total_in)
+        total_in += len(source)
+    total_out = int(offsets[-1])
+    try:
+        with telemetry.software_span("shm", "arena-build", "parallel"):
+            in_arena = SharedArena(total_in)
+            position = 0
+            for source in sources:
+                in_arena.buf[position:position + len(source)] = source
+                position += len(source)
+    except (OSError, PermissionError, ValueError):
+        return None
+    try:
+        out_arena = SharedArena(total_out * 4)
+    except (OSError, PermissionError, ValueError):
+        in_arena.destroy()
+        return None
+    try:
+        telemetry.count(
+            "jpeg2000.parallel.bytes_shared", total_in + total_out * 4
+        )
+        costs = [spec.cost for _, spec in specs]
+        chunks = plan_chunks(costs, workers, options.chunk_size)
+        payloads = []
+        for chunk in chunks:
+            blocks = []
+            for index in range(len(chunk)):
+                block = chunk[index]
+                source_index, spec = specs[block]
+                placed = spec.rebased(source_bases[source_index])
+                blocks.append((
+                    int(offsets[block]), placed.width, placed.height,
+                    placed.orientation, placed.num_bitplanes,
+                    placed.num_passes, placed.segments,
+                ))
+            payloads.append(
+                (in_arena.name, out_arena.name, options.kernel, tuple(blocks))
+            )
+        if telemetry.enabled():
+            telemetry.count(
+                "jpeg2000.parallel.bytes_pickled",
+                sum(len(pickle.dumps(payload)) for payload in payloads),
+            )
+        with telemetry.software_span(
+            "shm", "fanout", "parallel", chunks=len(payloads), workers=workers
+        ):
+            futures = [pool.submit(_decode_chunk_shm, payload) for payload in payloads]
+            ops_all: list = [0] * len(specs)
+            worker_blocks: dict = {}
+            failed: list = []
+            broken = False
+            try:
+                for future, chunk in zip(futures, chunks):
+                    pid, op_counts = future.result()
+                    worker_blocks[pid] = worker_blocks.get(pid, 0) + len(chunk)
+                    for block, ops in zip(chunk, op_counts):
+                        ops_all[block] = ops
+            except BrokenProcessPool:
+                broken = True
+        if broken:
+            _close_pool()
+            telemetry.count("jpeg2000.parallel.broken_pools")
+            resumed = 0
+            for future, chunk in zip(futures, chunks):
+                result = None
+                if future.done() and not future.cancelled():
+                    try:
+                        result = future.result()
+                    except BaseException:
+                        result = None
+                if result is None:
+                    failed.append(chunk)
+                else:
+                    pid, op_counts = result
+                    worker_blocks[pid] = worker_blocks.get(pid, 0) + len(chunk)
+                    for block, ops in zip(chunk, op_counts):
+                        ops_all[block] = ops
+                    resumed += 1
+            telemetry.count("jpeg2000.parallel.chunks_resumed", resumed)
+            telemetry.count("jpeg2000.parallel.chunks_redecoded", len(failed))
+        with telemetry.software_span("shm", "gather", "parallel"):
+            flat = np.frombuffer(
+                out_arena.buf, dtype=np.int32, count=total_out
+            ).copy()
+        _record_occupancy(worker_blocks)
+        for chunk in failed:
+            # Resume: only the chunks lost with the broken pool are
+            # re-decoded, in-process, straight into the gathered array.
+            for block in chunk:
+                source_index, spec = specs[block]
+                task = (
+                    spec.codeword(sources[source_index]),
+                    spec.width, spec.height, spec.orientation,
+                    spec.num_bitplanes, spec.num_passes,
+                )
+                values, ops = decode_block(
+                    task,
+                    KERNEL_REFERENCE if options.kernel == KERNEL_REFERENCE
+                    else KERNEL_FAST,
+                )
+                start = int(offsets[block])
+                flat[start:start + spec.size] = values
+                ops_all[block] = ops
+        return flat, ops_all
+    finally:
+        in_arena.destroy()
+        out_arena.destroy()
+
+
+def decode_blocks_spec(
+    sources: Sequence[bytes],
+    specs: Sequence[tuple],
+    options: DecodeOptions = DEFAULT_OPTIONS,
+):
+    """Decode segment-described blocks; the decoder's entropy fan-out.
+
+    ``sources`` are the tile-part buffers; ``specs`` is a sequence of
+    ``(source_index, BlockSpec)`` in scatter order.  Returns
+    ``(flat, offsets, ops)`` where ``flat`` holds every block's
+    coefficients row-major at ``offsets[i]`` (a NumPy prefix-sum over
+    block sizes) and ``ops[i]`` is block *i*'s basic-op count.
+
+    Transport selection, in order: shared-memory arenas (parallel,
+    zero-copy), pickle chunks (parallel), in-process (sequential or as
+    the terminal fallback) — all bit-identical.
+    """
+    sizes = [spec.size for _, spec in specs]
+    offsets = np.zeros(len(specs) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    if options.degraded:
+        _warn_degraded(
+            options.requested_workers, options.effective_workers,
+            "clamped to os.cpu_count()",
+        )
+    int32_safe = all(
+        spec.num_bitplanes <= _MAX_ARENA_BITPLANES for _, spec in specs
+    )
+    if options.parallel and len(specs) > 1 and int32_safe:
+        shm_result = _decode_specs_shm(sources, specs, sizes, offsets, options)
+        if shm_result is not None:
+            flat, ops = shm_result
+            return flat, offsets, ops
+    tasks = [
+        (
+            spec.codeword(sources[source_index]),
+            spec.width, spec.height, spec.orientation,
+            spec.num_bitplanes, spec.num_passes,
+        )
+        for source_index, spec in specs
+    ]
+    if options.parallel and len(specs) > 1:
+        results = decode_blocks(tasks, options)
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        ops_all = []
+        for (values, ops), start, size in zip(results, offsets, sizes):
+            flat[int(start):int(start) + size] = values
+            ops_all.append(ops)
+        return flat, offsets, ops_all
+    dtype = np.int32 if int32_safe else np.int64
+    flat = np.empty(int(offsets[-1]), dtype=dtype)
+    if options.kernel == KERNEL_BATCHED and int32_safe:
+        batch = [
+            task + (int(start),) for task, start in zip(tasks, offsets)
+        ]
+        ops_all = decode_codeblock_batch(batch, flat)[1]
+        return flat, offsets, ops_all
+    ops_all = []
+    single = KERNEL_FAST if options.kernel == KERNEL_BATCHED else options.kernel
+    for task, start, size in zip(tasks, offsets, sizes):
+        values, ops = decode_block(task, single)
+        flat[int(start):int(start) + size] = values
+        ops_all.append(ops)
+    return flat, offsets, ops_all

@@ -61,6 +61,12 @@ class CodeBlockContribution:
     num_passes: int = 0
     num_bitplanes: int = 0
     missing_msbs: int = 0
+    #: Decoder side: ``(start, end)`` spans of this block's codeword
+    #: segments *within the tile-part buffer*, one per contributing
+    #: packet.  The parallel decode path ships these spans (plus the tile
+    #: buffer, once, via shared memory) instead of materialised per-block
+    #: bytes — the segment layout that makes the arena zero-copy.
+    segments: list = field(default_factory=list)
     #: Encoder side: per-pass cumulative byte marks from Tier-1.
     pass_lengths: Optional[list] = None
     #: Encoder side: cumulative pass count included up to each layer.
@@ -104,6 +110,24 @@ class CodeBlockContribution:
         if passes <= 0:
             return 0
         return self.pass_lengths[min(passes, self.num_passes) - 1]
+
+    # -- decoder-side helpers ------------------------------------------------------
+
+    def codeword(self, source: bytes) -> bytes:
+        """The block's MQ codeword, joined from its spans into *source*.
+
+        Equivalent to the eagerly-materialised ``data`` of a
+        ``decode_packet(..., materialise=True)`` run, but computed on
+        demand so the decode path can defer (or entirely avoid) the
+        per-block byte copies.
+        """
+        segments = self.segments
+        if not segments:
+            return self.data
+        if len(segments) == 1:
+            start, end = segments[0]
+            return source[start:end]
+        return b"".join(source[start:end] for start, end in segments)
 
 
 @dataclass
@@ -266,12 +290,19 @@ def decode_packet(
     max_bitplanes: dict,
     layer: int = 0,
     use_eph: bool = False,
+    materialise: bool = True,
 ) -> int:
     """Parse the packet at *offset*; accumulates into the bands' blocks.
 
     Returns the offset just past the packet body.  Must be called with
     ``layer`` ascending over persistent band objects, mirroring
     :func:`encode_packet`.
+
+    Each contributing block's segment span ``(start, end)`` into *data*
+    is appended to ``block.segments``; with ``materialise=True`` (the
+    default) the bytes are additionally concatenated onto ``block.data``.
+    The decoder passes ``materialise=False`` and works from the spans,
+    so per-block codeword bytes are never copied on the parent side.
     """
     reader = BitReader(data, offset)
     if not reader.get_bit():
@@ -314,7 +345,9 @@ def decode_packet(
         end = position + length
         if end > len(data):
             raise PacketError("packet body exceeds tile data")
-        block.data = block.data + data[position:end]
+        block.segments.append((position, end))
+        if materialise:
+            block.data = block.data + data[position:end]
         position = end
     return position
 

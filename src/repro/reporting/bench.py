@@ -20,8 +20,14 @@ import time
 from pathlib import Path
 from typing import Callable, Optional
 
-#: Bump when the structure of BENCH_decode.json changes.
+#: Bump when the structure of the sweep/substrate trajectory files changes.
 SCHEMA_VERSION = 1
+
+#: Bump when the structure of BENCH_decode.json changes.  v2 added the
+#: per-variant ``schedules`` block (requested vs effective workers,
+#: chunking, granularity, transport) so a recorded "parallel" number can
+#: never silently be a sequential run.
+DECODE_SCHEMA_VERSION = 2
 
 
 def machine_info() -> dict:
@@ -67,9 +73,16 @@ class DecodeBench:
         #: perf trajectory across PRs.
         self.seed_baseline_seconds = dict(seed_baseline_seconds or {})
         self.modes: dict[str, dict] = {}
+        #: Per-variant scheduling facts (``DecodeOptions.schedule_info()``):
+        #: requested vs effective workers, chunking, granularity, transport.
+        self.schedules: dict[str, dict] = {}
 
     def record(self, mode: str, name: str, seconds: float) -> None:
         self.modes.setdefault(mode, {})[name] = seconds
+
+    def record_schedule(self, name: str, info: dict) -> None:
+        """Attach scheduling metadata to the variant *name*."""
+        self.schedules[name] = dict(info)
 
     def speedups(self, mode: str) -> dict:
         timings = self.modes.get(mode, {})
@@ -99,11 +112,12 @@ class DecodeBench:
                 }
             modes[mode] = entry
         result = {
-            "schema": SCHEMA_VERSION,
+            "schema": DECODE_SCHEMA_VERSION,
             "benchmark": "entropy-decode wall clock",
             "machine": machine_info(),
             "workload": self.workload,
             "baseline": self.baseline,
+            "schedules": self.schedules,
             "modes": modes,
         }
         result.update(extra)

@@ -7,10 +7,11 @@ cycle models read the op counter, so a drift there would silently skew
 the paper reproduction).
 """
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.jpeg2000.t1 import CodeBlockDecoder, CodeBlockEncoder
-from repro.jpeg2000.t1_fast import FastCodeBlockDecoder
+from repro.jpeg2000.t1_fast import FastCodeBlockDecoder, decode_codeblock_batch
 
 
 @st.composite
@@ -59,3 +60,58 @@ def test_fast_kernel_roundtrips_full_blocks(block):
         return  # truncated segments reconstruct approximations by design
     fast = FastCodeBlockDecoder(data, width, height, orientation, num_bitplanes)
     assert fast.decode() == coeffs
+
+
+@given(st.lists(coded_blocks(), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_batched_kernel_matches_single_block_and_reference(blocks):
+    """The batched entry point is a pure re-scheduling of the fast kernel:
+    random geometries and pass counts must decode bit-for-bit like the
+    single-block fast kernel AND the reference kernel, op counts included.
+    """
+    batch = []
+    offset = 0
+    for data, width, height, orientation, num_bitplanes, num_passes, _ in blocks:
+        batch.append(
+            (data, width, height, orientation, num_bitplanes, num_passes, offset)
+        )
+        offset += width * height
+    out, op_counts = decode_codeblock_batch(batch)
+    assert out.dtype == np.int32
+    assert len(op_counts) == len(blocks)
+    for block, entry, batched_ops in zip(blocks, batch, op_counts):
+        data, width, height, orientation, num_bitplanes, num_passes, _ = block
+        start = entry[6]
+        batched_values = out[start : start + width * height].tolist()
+        fast = FastCodeBlockDecoder(
+            data, width, height, orientation, num_bitplanes, num_passes
+        )
+        reference = CodeBlockDecoder(
+            data, width, height, orientation, num_bitplanes, num_passes
+        )
+        fast_values = fast.decode()
+        reference_values = reference.decode()
+        assert batched_values == fast_values
+        assert batched_values == reference_values
+        assert batched_ops == fast.ops
+        assert batched_ops == reference.ops
+
+
+@given(st.lists(coded_blocks(), min_size=1, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_batched_kernel_writes_into_caller_buffer(blocks):
+    """With a caller-supplied output array the batch writes in place at
+    the given offsets and leaves untouched gaps at zero."""
+    batch = []
+    offset = 0
+    for data, width, height, orientation, num_bitplanes, num_passes, _ in blocks:
+        batch.append(
+            (data, width, height, orientation, num_bitplanes, num_passes, offset)
+        )
+        offset += width * height
+    out = np.zeros(offset + 5, dtype=np.int32)  # trailing gap stays zero
+    returned, _ = decode_codeblock_batch(batch, out)
+    assert returned is out
+    auto, _ = decode_codeblock_batch(batch)
+    assert out[:offset].tolist() == auto[:offset].tolist()
+    assert out[offset:].tolist() == [0] * 5

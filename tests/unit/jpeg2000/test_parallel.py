@@ -5,14 +5,21 @@ import os
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.jpeg2000 import parallel
 from repro.jpeg2000.parallel import (
+    BlockSpec,
     DecodeOptions,
+    KERNEL_BATCHED,
     KERNEL_FAST,
     KERNEL_REFERENCE,
+    ParallelDegradedWarning,
+    SharedArena,
     _chunked,
     decode_block,
     decode_blocks,
+    decode_blocks_spec,
+    plan_chunks,
     shutdown_pool,
 )
 from repro.jpeg2000.t1 import CodeBlockEncoder
@@ -26,6 +33,21 @@ def _encode_block(seed: int, width: int = 8, height: int = 8, orientation: str =
         (result.data, width, height, orientation, result.num_bitplanes, result.num_passes),
         coeffs,
     )
+
+
+def _spec_workload(seeds):
+    """Encoded blocks as one concatenated source + segment-span specs."""
+    tasks, expected = zip(*(_encode_block(seed) for seed in seeds))
+    source = bytearray()
+    specs = []
+    for data, width, height, orientation, num_bitplanes, num_passes in tasks:
+        start = len(source)
+        source += data
+        specs.append((0, BlockSpec(
+            width, height, orientation, num_bitplanes, num_passes,
+            ((start, start + len(data)),),
+        )))
+    return bytes(source), specs, list(expected)
 
 
 class TestDecodeOptions:
@@ -105,8 +127,14 @@ class TestDecodeBlocks:
 
     def test_pool_failure_falls_back_to_sequential(self, monkeypatch):
         tasks, expected = zip(*(_encode_block(seed) for seed in range(3)))
-        monkeypatch.setattr(parallel, "_get_pool", lambda workers: None)
-        results = decode_blocks(list(tasks), DecodeOptions(workers=4))
+        monkeypatch.setattr(
+            parallel, "_get_pool", lambda workers, start_method=None: None
+        )
+        parallel._degradations_warned.clear()
+        with pytest.warns(parallel.ParallelDegradedWarning):
+            results = decode_blocks(
+                list(tasks), DecodeOptions(workers=4, oversubscribe=True)
+            )
         for (values, _), coeffs in zip(results, expected):
             assert values.tolist() == coeffs
 
@@ -116,3 +144,245 @@ class TestDecodeBlocks:
         assert first is second
         shutdown_pool()
         assert parallel._pool is None
+
+    def test_pool_recreated_on_start_method_change(self):
+        first = parallel._get_pool(2, None)
+        second = parallel._get_pool(2, "fork")
+        assert first is not second
+        shutdown_pool()
+
+
+class TestScheduleInfo:
+    def test_degraded_flags_clamped_request(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        options = DecodeOptions(workers=4)
+        assert options.requested_workers == 4
+        assert options.effective_workers == 1
+        assert options.degraded
+        info = options.schedule_info()
+        assert info["requested_workers"] == 4
+        assert info["effective_workers"] == 1
+        assert info["degraded"] is True
+        assert info["granularity"] == "codeblock/sequential"
+
+    def test_oversubscribe_bypasses_clamp(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        options = DecodeOptions(workers=4, oversubscribe=True)
+        assert options.effective_workers == 4
+        assert not options.degraded
+        assert options.schedule_info()["granularity"] == "codeblock/size-aware"
+
+    def test_pickle_transport_granularity(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        options = DecodeOptions(workers=4, shared_memory=False)
+        assert options.schedule_info()["granularity"] == "codeblock/fixed"
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(ValueError):
+            DecodeOptions(start_method="teleport")
+
+    def test_degraded_request_warns_once(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        parallel._degradations_warned.clear()
+        tasks, _ = zip(*(_encode_block(seed) for seed in range(2)))
+        with pytest.warns(ParallelDegradedWarning):
+            decode_blocks(list(tasks), DecodeOptions(workers=4))
+        # Deduplicated: the same degradation does not warn a second time.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", ParallelDegradedWarning)
+            decode_blocks(list(tasks), DecodeOptions(workers=4))
+
+
+class TestPlanChunks:
+    def test_covers_every_block_once(self):
+        costs = [5, 1, 9, 3, 7, 2, 8, 4]
+        chunks = plan_chunks(costs, workers=2, chunk_size=3)
+        seen = sorted(block for chunk in chunks for block in chunk)
+        assert seen == list(range(len(costs)))
+
+    def test_respects_chunk_size_cap(self):
+        chunks = plan_chunks([1] * 20, workers=2, chunk_size=4)
+        assert max(len(chunk) for chunk in chunks) <= 4
+
+    def test_largest_first_balances_cost(self):
+        # One giant block plus many small ones: the giant block must not
+        # share a chunk with everything else.
+        costs = [100] + [1] * 7
+        chunks = plan_chunks(costs, workers=2, chunk_size=4)
+        giant = next(chunk for chunk in chunks if 0 in chunk)
+        loads = [sum(costs[block] for block in chunk) for chunk in chunks]
+        assert giant == [0]  # scheduled alone: everything else backfills
+        assert max(loads) == 100
+
+    def test_empty(self):
+        assert plan_chunks([], workers=2, chunk_size=4) == []
+
+
+class TestBlockSpec:
+    def test_codeword_joins_segments(self):
+        spec = BlockSpec(2, 2, "HH", 3, None, ((1, 3), (5, 7)))
+        assert spec.codeword(b"abcdefgh") == b"bcfg"
+        assert spec.size == 4
+        assert spec.cost == 5
+
+    def test_rebased_shifts_spans(self):
+        spec = BlockSpec(2, 2, "HH", 3, None, ((1, 3),))
+        assert spec.rebased(10).segments == ((11, 13),)
+        assert spec.rebased(0) is spec
+
+
+class TestSharedArena:
+    def test_registry_and_sweep(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        arena = SharedArena(64)
+        assert arena.name in parallel._live_arenas
+        arena.buf[:4] = b"abcd"
+        assert bytes(arena.buf[:4]) == b"abcd"
+        shutdown_pool()
+        assert arena.name not in parallel._live_arenas
+
+    def test_destroy_is_idempotent(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        arena = SharedArena(16)
+        arena.destroy()
+        arena.destroy()
+        assert arena.name not in parallel._live_arenas
+
+
+class TestDecodeBlocksSpec:
+    @pytest.mark.parametrize("kernel", [KERNEL_FAST, KERNEL_BATCHED, KERNEL_REFERENCE])
+    def test_sequential_kernels_agree(self, kernel):
+        source, specs, expected = _spec_workload(range(6))
+        flat, offsets, ops = decode_blocks_spec(
+            [source], specs, DecodeOptions(kernel=kernel)
+        )
+        assert len(ops) == len(specs)
+        for index, coeffs in enumerate(expected):
+            start, end = int(offsets[index]), int(offsets[index + 1])
+            assert flat[start:end].tolist() == coeffs
+            assert ops[index] > 0
+
+    def test_shm_parallel_matches_sequential(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        source, specs, _ = _spec_workload(range(9))
+        seq_flat, seq_offsets, seq_ops = decode_blocks_spec(
+            [source], specs, DecodeOptions()
+        )
+        par_flat, par_offsets, par_ops = decode_blocks_spec(
+            [source], specs,
+            DecodeOptions(workers=2, chunk_size=2, oversubscribe=True),
+        )
+        assert np.array_equal(seq_flat, par_flat)
+        assert np.array_equal(seq_offsets, par_offsets)
+        assert seq_ops == par_ops
+        shutdown_pool()
+
+    def test_pickle_parallel_matches_sequential(self):
+        source, specs, _ = _spec_workload(range(7))
+        seq_flat, _, seq_ops = decode_blocks_spec([source], specs, DecodeOptions())
+        par_flat, _, par_ops = decode_blocks_spec(
+            [source], specs,
+            DecodeOptions(
+                workers=2, chunk_size=3, oversubscribe=True, shared_memory=False
+            ),
+        )
+        assert np.array_equal(seq_flat, np.asarray(par_flat))
+        assert seq_ops == par_ops
+        shutdown_pool()
+
+    def test_multiple_sources(self):
+        source_a, specs_a, expected_a = _spec_workload(range(3))
+        source_b, specs_b, expected_b = _spec_workload(range(10, 13))
+        specs = [(0, spec) for _, spec in specs_a] + [(1, spec) for _, spec in specs_b]
+        flat, offsets, ops = decode_blocks_spec(
+            [source_a, source_b], specs, DecodeOptions()
+        )
+        expected = expected_a + expected_b
+        for index, coeffs in enumerate(expected):
+            start, end = int(offsets[index]), int(offsets[index + 1])
+            assert flat[start:end].tolist() == coeffs
+
+    def test_empty_spec_list(self):
+        flat, offsets, ops = decode_blocks_spec([b""], [], DecodeOptions(workers=2))
+        assert len(flat) == 0
+        assert offsets.tolist() == [0]
+        assert ops == []
+
+    def test_no_shm_segments_leak(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        source, specs, _ = _spec_workload(range(5))
+        decode_blocks_spec(
+            [source], specs, DecodeOptions(workers=2, oversubscribe=True)
+        )
+        assert parallel._live_arenas == {}
+        shutdown_pool()
+
+
+def _exploding_sequential(chunk, kernel, *, parent_pid, bomb_data, marker, real):
+    """Fork-inherited bomb: kill the worker process on the marked chunk,
+    but only after some other chunk has completed (so the resume path has
+    something to resume from)."""
+    import time
+
+    if os.getpid() != parent_pid and any(task[0] == bomb_data for task in chunk):
+        deadline = time.monotonic() + 30.0
+        while not os.path.exists(marker) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.3)  # let the parent drain completed results
+        os._exit(1)
+    result = real(chunk, kernel)
+    if os.getpid() != parent_pid:
+        with open(marker, "w") as handle:
+            handle.write("done")
+    return result
+
+
+class TestBrokenPoolResume:
+    def test_resumes_completed_chunks_after_worker_crash(
+        self, tmp_path, monkeypatch
+    ):
+        """Fault injection: one worker dies mid-run (fork start method, so
+        the child inherits the monkeypatched chunk decoder).  The fallback
+        must keep the completed chunks' results and re-decode only the
+        chunks the broken pool lost."""
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only test
+            pytest.skip("fork start method unavailable")
+        tasks, expected = zip(*(_encode_block(seed) for seed in range(6)))
+        marker = str(tmp_path / "chunk-done")
+        real = parallel._decode_tasks_sequential
+        parent_pid = os.getpid()
+        bomb_data = tasks[-1][0]
+
+        def bomb(chunk, kernel):
+            return _exploding_sequential(
+                chunk, kernel, parent_pid=parent_pid, bomb_data=bomb_data,
+                marker=marker, real=real,
+            )
+
+        shutdown_pool()  # the bomb must be in place before the fork
+        monkeypatch.setattr(parallel, "_decode_tasks_sequential", bomb)
+        recorder = telemetry.install()
+        try:
+            results = decode_blocks(
+                list(tasks),
+                DecodeOptions(
+                    workers=2, chunk_size=1, oversubscribe=True,
+                    start_method="fork",
+                ),
+            )
+        finally:
+            telemetry.uninstall()
+            shutdown_pool()
+        for (values, ops), coeffs in zip(results, expected):
+            assert values.tolist() == coeffs
+            assert ops > 0
+        counters = recorder.metrics
+        assert counters.counter("jpeg2000.parallel.broken_pools") == 1
+        assert counters.counter("jpeg2000.parallel.chunks_resumed") >= 1
+        assert counters.counter("jpeg2000.parallel.chunks_redecoded") >= 1
+        # Resume must NOT have re-decoded everything from scratch.
+        assert (
+            counters.counter("jpeg2000.parallel.chunks_redecoded") < len(tasks)
+        )

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.reporting.bench import SCHEMA_VERSION, DecodeBench, machine_info, time_call
+from repro.reporting.bench import DECODE_SCHEMA_VERSION, DecodeBench, machine_info, time_call
 
 
 def test_machine_info_has_interpretability_keys():
@@ -49,12 +49,26 @@ def test_payload_includes_seed_anchor():
     bench.record("lossless", "reference", 10.0)
     bench.record("lossless", "fast", 5.0)
     payload = bench.payload(byte_identical=True)
-    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["schema"] == DECODE_SCHEMA_VERSION
     assert payload["byte_identical"] is True
     mode = payload["modes"]["lossless"]
     assert mode["seed_sequential_seconds"] == 20.0
     assert mode["speedup_vs_seed"] == {"reference": 2.0, "fast": 4.0}
     assert mode["speedup_vs_reference"] == {"fast": 2.0}
+
+
+def test_payload_carries_schedule_metadata():
+    bench = DecodeBench({"tiles": 16}, baseline="reference")
+    bench.record("lossless", "parallel-shm-4", 3.0)
+    bench.record_schedule(
+        "parallel-shm-4",
+        {"requested_workers": 4, "effective_workers": 1, "degraded": True,
+         "granularity": "codeblock/size-aware"},
+    )
+    payload = bench.payload()
+    schedule = payload["schedules"]["parallel-shm-4"]
+    assert schedule["requested_workers"] == 4
+    assert schedule["degraded"] is True
 
 
 def test_write_round_trips_json(tmp_path):
