@@ -215,11 +215,81 @@ def _build_and_run(name: str, lossy: bool):
     return report, recorder, profiler
 
 
+def _profile_decode(args) -> int:
+    """Profile the real software decode pipeline under telemetry.
+
+    The decode analogue of the Fig. 1 stage-share reproduction: run the
+    paper workload through the chosen schedule with a recorder active
+    and report each pipeline stage's share of wall time (``t2_parse`` /
+    ``t1_decode`` / ``idwt`` / ``dequant_mct`` / ``gather``).
+    """
+    import json
+    import time
+    import warnings
+
+    from . import telemetry
+    from .jpeg2000 import (
+        CodingParameters,
+        DecodeOptions,
+        Jpeg2000Decoder,
+        encode_image,
+        shutdown_pool,
+        synthetic_image,
+    )
+    from .telemetry.export import stage_shares
+
+    size = args.size
+    tile = min(128, size)
+    params = CodingParameters(
+        width=size, height=size, num_components=3,
+        tile_width=tile, tile_height=tile, num_levels=3,
+        lossless=not args.lossy, base_step=1 / 8,
+    )
+    codestream = encode_image(
+        synthetic_image(size, size, 3, seed=2008), params
+    )
+    options = DecodeOptions(kernel=args.kernel, workers=args.workers)
+    recorder = telemetry.install()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            decoder = Jpeg2000Decoder(codestream, options=options)
+            start = time.perf_counter()
+            decoder.decode()
+            elapsed = time.perf_counter() - start
+            shutdown_pool()
+    finally:
+        telemetry.uninstall()
+    shares = stage_shares(recorder)
+    schedule = options.schedule_info()
+    if args.json:
+        json.dump({
+            "workload": f"{size}x{size} RGB synthetic (seed 2008), "
+                        f"tile {tile}, 3 levels",
+            "mode": "lossy" if args.lossy else "lossless",
+            "seconds": round(elapsed, 4),
+            "schedule": schedule,
+            "stage_shares": {k: round(v, 4) for k, v in shares.items()},
+        }, sys.stdout, indent=2)
+        print()
+        return 0
+    mode = "lossy (9/7)" if args.lossy else "lossless (5/3)"
+    print(f"# decode stage shares - {size}x{size} {mode}, "
+          f"kernel={schedule['kernel']}, tier2={schedule['tier2']}, "
+          f"workers={schedule['effective_workers']}")
+    print(f"wall time: {elapsed:.3f} s")
+    for stage, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+        print(f"{stage:<12} {100.0 * share:6.2f}%")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     import json
 
     from .telemetry.export import aggregate, flame_summary, stage_shares
 
+    if args.name == "decode":
+        return _profile_decode(args)
     report, recorder, profiler = _build_and_run(args.name, args.lossy)
     shares = stage_shares(recorder)
     if args.json:
@@ -429,11 +499,22 @@ def main(argv=None) -> int:
     p_validate.set_defaults(func=_cmd_validate)
 
     p_prof = sub.add_parser("profile", help="simulate one version with "
-                            "per-process and per-stage profiling")
-    p_prof.add_argument("name", choices=version_names)
+                            "per-process and per-stage profiling, or "
+                            "'decode' for the software pipeline's stage "
+                            "shares")
+    p_prof.add_argument("name", choices=version_names + ["decode"])
     p_prof.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
     p_prof.add_argument("--json", action="store_true",
                         help="emit the full profile as JSON instead of tables")
+    p_prof.add_argument("--size", type=int, default=512,
+                        help="decode profiling: square workload size "
+                        "(default 512, the paper's 16-tile workload)")
+    p_prof.add_argument("--kernel", default="batched",
+                        choices=["fast", "batched", "reference"],
+                        help="decode profiling: Tier-1 kernel")
+    p_prof.add_argument("--workers", type=int, default=0,
+                        help="decode profiling: worker processes "
+                        "(0 = sequential)")
     p_prof.set_defaults(func=_cmd_profile)
 
     p_trace = sub.add_parser("trace", help="simulate one version and export "

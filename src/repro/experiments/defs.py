@@ -693,14 +693,20 @@ def _wallclock_tables(payloads) -> dict:
         title="Entropy-decode wall clock - 16-tile workload",
     )
     baseline = bench["baseline"]
+    schedules = bench.get("schedules", {})
     for mode_name, entry in bench["modes"].items():
         seconds = entry["seconds"]
         speedups = entry.get(f"speedup_vs_{baseline}", {})
         seed = entry["seed_sequential_seconds"]
         for schedule, elapsed in seconds.items():
+            # A clamped "parallel" run must not read as a parallel
+            # number — mirror DecodeBench.label() on the derived table.
+            label = schedule
+            if schedules.get(schedule, {}).get("degraded"):
+                label = f"{schedule} (degraded)"
             table.add_row(
                 mode_name,
-                schedule,
+                label,
                 round(elapsed, 3),
                 speedups.get(schedule, 1.0),
                 round(seed / elapsed, 2),

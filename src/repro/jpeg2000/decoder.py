@@ -36,11 +36,14 @@ from .pipeline import (
     STAGE_IQ,
     StageOps,
 )
+from .bitio import ff_positions
 from .parallel import (
     DEFAULT_OPTIONS,
+    TIER2_REFERENCE,
     BlockSpec,
     DecodeOptions,
     decode_blocks_spec,
+    open_spec_stream,
 )
 from .structure import band_shapes, codeblock_grid
 from .t2 import CodeBlockContribution, PacketBand, consume_sop, decode_packet
@@ -98,6 +101,12 @@ class TileStages:
         params = self.params
         shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
         bounds = _band_bounds(params)
+        # Tier-2 parser selection: the fast path shares one NumPy scan
+        # for the 0xFF stuffing boundaries across every packet of the
+        # tile and decodes tag trees over flat arrays.  Bit-for-bit
+        # identical to the reference parse.
+        fast_t2 = self.options.tier2 != TIER2_REFERENCE
+        ff_index = ff_positions(self.data) if fast_t2 else None
         per_component_bands: list[dict] = []
         for _ in range(params.num_components):
             bands: dict[tuple[int, str], PacketBand] = {}
@@ -113,6 +122,7 @@ class TileStages:
                             shape.width, shape.height, params.codeblock_size
                         )
                     ],
+                    fast=fast_t2,
                 )
             per_component_bands.append(bands)
         offset = 0
@@ -151,6 +161,7 @@ class TileStages:
                 offset = decode_packet(
                     self.data, offset, packet_bands, res_bounds, layer,
                     use_eph=params.use_eph, materialise=False,
+                    fast=fast_t2, ff_index=ff_index,
                 )
                 packet_sequence += 1
         # Every code block is an independent decode task; describe them
@@ -171,6 +182,25 @@ class TileStages:
                         tuple(block.segments),
                     ))
         return per_component_bands, specs
+
+    def block_sizes(self) -> list:
+        """Every code block's sample count in scatter order.
+
+        Pure geometry — no packet is parsed — so the streaming decode
+        path can size and lay out its shared output arena before Tier-2
+        has read a single bit.  Matches the spec order of
+        :meth:`entropy_specs` exactly.
+        """
+        params = self.params
+        shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
+        sizes = []
+        for _ in range(params.num_components):
+            for shape in shapes:
+                for geo in codeblock_grid(
+                    shape.width, shape.height, params.codeblock_size
+                ):
+                    sizes.append(geo.width * geo.height)
+        return sizes
 
     def scatter_entropy(
         self, layout: list, flat, offsets, ops: list, first: int = 0
@@ -287,6 +317,39 @@ class TileStages:
             self.ops.add(STAGE_DC, plane.size)
         return out
 
+    # -- fused stages 4+5 ---------------------------------------------------------------
+
+    def finish_mct_dc(self, planes: list) -> list:
+        """Fused inverse colour transform + DC shift, one pass per plane.
+
+        Value- and op-count-identical to :meth:`inverse_mct` followed by
+        :meth:`dc_shift` (see the fused kernels in
+        :mod:`repro.jpeg2000.mct`); the batched reconstruction path uses
+        this so each tile plane is traversed once instead of three
+        times.
+        """
+        params = self.params
+        if params.use_mct:
+            if params.lossless:
+                fused = mct.rct_dc_inverse(
+                    planes[0], planes[1], planes[2], params.bit_depth
+                )
+            else:
+                fused = mct.ict_dc_inverse(
+                    planes[0], planes[1], planes[2], params.bit_depth
+                )
+            self.ops.add(STAGE_ICT, 3 * planes[0].size)
+            out = list(fused)
+            rest = planes[3:]
+        else:
+            out = []
+            rest = planes
+        for plane in rest:
+            out.append(mct.dc_shift_inverse(plane, params.bit_depth))
+        for plane in planes:
+            self.ops.add(STAGE_DC, plane.size)
+        return out
+
     # -- all stages ------------------------------------------------------------------------
 
     def _staged(self, stage, fn, *args):
@@ -395,28 +458,122 @@ class Jpeg2000Decoder:
             tile_index=tile_index,
         )
 
+    def _finish_tiles(self, stages_list: list, bands_by_tile: list) -> dict:
+        """Stages 2–5 for the given tiles, vectorised across tiles.
+
+        Dequantisation runs per tile (already one NumPy pass per
+        subband); the inverse DWT batches every same-shape tile
+        component per resolution level
+        (:func:`~repro.jpeg2000.dwt.inverse_batch`); the colour
+        transform and DC shift run as fused whole-plane kernels
+        (:meth:`TileStages.finish_mct_dc`).  Values and op counts are
+        exactly those of the per-tile :meth:`TileStages.finish` path.
+        """
+        with telemetry.software_span("stage", "dequant_mct", "decode"):
+            subbands_per_tile = [
+                stages._staged(STAGE_IQ, stages.dequantise, bands)
+                for stages, bands in zip(stages_list, bands_by_tile)
+            ]
+        with telemetry.software_span("stage", "idwt", "decode"):
+            flat_subbands = []
+            counts_list = []
+            slots = []
+            for slot, subbands in enumerate(subbands_per_tile):
+                for component in subbands:
+                    flat_subbands.append(component)
+                    counts_list.append(dwt.DwtOpCounts())
+                    slots.append(slot)
+            planes_flat = dwt.inverse_batch(flat_subbands, counts_list)
+            planes_per_tile: list[list] = [[] for _ in stages_list]
+            for slot, plane, counts in zip(slots, planes_flat, counts_list):
+                planes_per_tile[slot].append(plane)
+                stages_list[slot].ops.add(STAGE_IDWT, counts.total)
+        with telemetry.software_span("stage", "dequant_mct", "decode"):
+            return {
+                stages.tile_index: stages.finish_mct_dc(planes)
+                for stages, planes in zip(stages_list, planes_per_tile)
+            }
+
+    def _tile_planes_sequential(self, stages_list: list) -> dict:
+        """Parse and decode every tile in-process, batched across tiles.
+
+        All tiles' Tier-2 parses run first (fast parser, shared 0xFF
+        index per tile buffer); the Tier-1 stage then decodes every
+        code block of the image in one
+        :func:`~repro.jpeg2000.parallel.decode_blocks_spec` call (one
+        kernel batch for ``kernel="batched"``); reconstruction is the
+        cross-tile vectorised :meth:`_finish_tiles`.
+        """
+        layouts: list = []
+        firsts: list = []
+        sources: list = []
+        spec_pairs: list = []
+        with telemetry.software_span("stage", "t2_parse", "decode"):
+            for stages in stages_list:
+                layout, specs = stages.entropy_specs()
+                layouts.append(layout)
+                firsts.append(len(spec_pairs))
+                source_index = len(sources)
+                sources.append(stages.data)
+                spec_pairs.extend((source_index, spec) for spec in specs)
+        with telemetry.software_span("sw", STAGE_ARITH, "decode"):
+            with telemetry.software_span("stage", "t1_decode", "decode"):
+                flat, offsets, ops = decode_blocks_spec(
+                    sources, spec_pairs, self.options
+                )
+        with telemetry.software_span("stage", "gather", "decode"):
+            bands_by_tile = [
+                stages.scatter_entropy(
+                    layouts[index], flat, offsets, ops, firsts[index]
+                )
+                for index, stages in enumerate(stages_list)
+            ]
+        return self._finish_tiles(stages_list, bands_by_tile)
+
     def _tile_planes(self, grid: TileGrid) -> dict:
         """Run every tile's pipeline; returns tile index → sample planes.
 
-        The sequential path runs tiles one after another
-        (:meth:`TileStages.run`).  The parallel path instead batches the
-        entropy stage at **code-block granularity across all tiles**:
-        every tile's Tier-2 parse contributes its block specs to one
-        :func:`~repro.jpeg2000.parallel.decode_blocks_spec` fan-out (one
-        arena pair, one size-aware schedule over the whole image), so
-        there is no per-tile barrier and a tile with one expensive block
-        cannot idle the pool.  Stages 2–5 then run per tile as usual.
+        The sequential path parses every tile, decodes all code blocks
+        in one in-process batch, and reconstructs with the cross-tile
+        vectorised kernels.  The parallel path streams each tile's
+        Tier-1 chunks to the worker pool as soon as that tile's packet
+        headers are parsed, and gathers + reconstructs completed tiles
+        on the main process while later tiles' entropy chunks are still
+        in flight (:meth:`_tile_planes_overlapped`); with ``overlap``
+        disabled it falls back to the barrier schedule (full parse, one
+        fan-out, then reconstruction).
         """
         stages_list = [
             self.tile_stages(tile_index) for tile_index in range(grid.num_tiles)
         ]
-        planes: dict[int, list] = {}
         if self.options.parallel and grid.num_tiles > 1:
-            sources: list = []
-            spec_pairs: list = []
-            layouts: list = []
-            firsts: list = []
-            with telemetry.software_span("sw", STAGE_ARITH, "decode"):
+            planes = self._tile_planes_parallel(stages_list)
+        else:
+            planes = self._tile_planes_sequential(stages_list)
+        for stages in stages_list:
+            self.ops.merge(stages.ops)
+        return planes
+
+    def _tile_planes_parallel(self, stages_list: list) -> dict:
+        """Fan the entropy stage out to workers, overlapped when possible."""
+        if self.options.overlap:
+            planes = self._tile_planes_overlapped(stages_list)
+            if planes is not None:
+                return planes
+        return self._tile_planes_barrier(stages_list)
+
+    def _tile_planes_barrier(self, stages_list: list) -> dict:
+        """The non-overlapped parallel schedule: parse all tiles, run one
+        size-aware fan-out over every code block of the image, then
+        reconstruct.  Kept as the fallback when the streaming path is
+        unavailable (no shared memory, no pool, pathological bit
+        depths) and for ``DecodeOptions(overlap=False)``."""
+        sources: list = []
+        spec_pairs: list = []
+        layouts: list = []
+        firsts: list = []
+        with telemetry.software_span("sw", STAGE_ARITH, "decode"):
+            with telemetry.software_span("stage", "t2_parse", "decode"):
                 for stages in stages_list:
                     layout, specs = stages.entropy_specs()
                     firsts.append(len(spec_pairs))
@@ -424,19 +581,61 @@ class Jpeg2000Decoder:
                     sources.append(stages.data)
                     spec_pairs.extend((source_index, spec) for spec in specs)
                     layouts.append(layout)
+            with telemetry.software_span("stage", "t1_decode", "decode"):
                 flat, offsets, ops = decode_blocks_spec(
                     sources, spec_pairs, self.options
                 )
-            for tile_index, stages in enumerate(stages_list):
+        planes: dict[int, list] = {}
+        for tile_index, stages in enumerate(stages_list):
+            with telemetry.software_span("stage", "gather", "decode"):
                 bands = stages.scatter_entropy(
                     layouts[tile_index], flat, offsets, ops, firsts[tile_index]
                 )
-                planes[tile_index] = stages.finish(bands)
-                self.ops.merge(stages.ops)
-            return planes
-        for tile_index, stages in enumerate(stages_list):
-            planes[tile_index] = stages.run()
-            self.ops.merge(stages.ops)
+            planes.update(self._finish_tiles([stages], [bands]))
+        return planes
+
+    def _tile_planes_overlapped(self, stages_list: list) -> Optional[dict]:
+        """Stream Tier-1 chunks to the pool as each tile's spans parse.
+
+        The output arena is laid out from pure geometry
+        (:meth:`TileStages.block_sizes`) before any parsing, so every
+        tile's chunks ship the moment its packet headers are read;
+        tiles then drain in submission order, and each finished tile's
+        gather + reconstruction runs on the main process while the
+        remaining tiles' entropy chunks are still decoding in the
+        workers.  Returns ``None`` when the streaming transport is
+        unusable (caller falls back to the barrier schedule).
+        """
+        sizes: list[int] = []
+        firsts: list[int] = []
+        for stages in stages_list:
+            tile_sizes = stages.block_sizes()
+            firsts.append(len(sizes))
+            sizes.extend(tile_sizes)
+        stream = open_spec_stream(
+            [stages.data for stages in stages_list], sizes, self.options
+        )
+        if stream is None:
+            return None
+        planes: dict[int, list] = {}
+        try:
+            with telemetry.software_span("stage", "t2_parse", "decode"):
+                layouts = []
+                for source_index, stages in enumerate(stages_list):
+                    layout, specs = stages.entropy_specs()
+                    layouts.append(layout)
+                    if not stream.submit_tile(source_index, specs, firsts[source_index]):
+                        return None  # pathological stream: barrier fallback
+            for source_index, stages in enumerate(stages_list):
+                with telemetry.software_span("stage", "t1_decode", "decode"):
+                    flat, offsets, ops = stream.drain_tile(source_index)
+                with telemetry.software_span("stage", "gather", "decode"):
+                    bands = stages.scatter_entropy(
+                        layouts[source_index], flat, offsets, ops
+                    )
+                planes.update(self._finish_tiles([stages], [bands]))
+        finally:
+            stream.close()
         return planes
 
     def decode(self) -> Image:

@@ -75,6 +75,11 @@ KERNEL_REFERENCE = "reference"
 KERNEL_BATCHED = "batched"
 _KERNELS = (KERNEL_FAST, KERNEL_REFERENCE, KERNEL_BATCHED)
 
+#: Tier-2 parser selection accepted by :class:`DecodeOptions`.
+TIER2_FAST = "fast"
+TIER2_REFERENCE = "reference"
+_TIER2 = (TIER2_FAST, TIER2_REFERENCE)
+
 #: Pool start methods accepted by :class:`DecodeOptions` (None = platform
 #: default).
 _START_METHODS = (None, "fork", "spawn", "forkserver")
@@ -143,6 +148,18 @@ class DecodeOptions:
         extra workers usually only add overhead — but tests (and hosts
         whose workers stall on IO) may want real worker processes even
         on a small machine.
+    ``tier2``
+        Packet-header parser: ``"fast"`` (word-at-a-time
+        ``FastBitReader`` + array-backed tag trees, default) or
+        ``"reference"`` (the bit-by-bit specification reader).  Both
+        parse bit-for-bit identically.
+    ``overlap``
+        Stream Tier-1 chunks to the workers while later tiles are still
+        being parsed, and finish (gather/DWT/MCT) completed tiles on the
+        main process during the flight (default).  Off serialises the
+        stages: full parse, then fan-out, then reconstruction.  Only
+        affects the parallel shared-memory path; results are identical
+        either way.
     """
 
     workers: Optional[int] = 0
@@ -151,6 +168,8 @@ class DecodeOptions:
     shared_memory: bool = True
     start_method: Optional[str] = None
     oversubscribe: bool = False
+    tier2: str = TIER2_FAST
+    overlap: bool = True
 
     def __post_init__(self):
         if self.workers is not None and self.workers < 0:
@@ -161,6 +180,8 @@ class DecodeOptions:
             raise ValueError(f"kernel must be one of {_KERNELS}")
         if self.start_method not in _START_METHODS:
             raise ValueError(f"start_method must be one of {_START_METHODS}")
+        if self.tier2 not in _TIER2:
+            raise ValueError(f"tier2 must be one of {_TIER2}")
 
     @property
     def requested_workers(self) -> int:
@@ -197,13 +218,15 @@ class DecodeOptions:
         return "codeblock/fixed"
 
     def schedule_info(self) -> dict:
-        """The scheduling facts a benchmark row must carry (schema v2)."""
+        """The scheduling facts a benchmark row must carry (schema v3)."""
         return {
             "requested_workers": self.requested_workers,
             "effective_workers": self.effective_workers,
             "degraded": self.degraded,
             "chunk_size": self.chunk_size,
             "kernel": self.kernel,
+            "tier2": self.tier2,
+            "overlap": self.overlap,
             "granularity": self.granularity,
             "shared_memory": self.shared_memory,
             "start_method": self.start_method,
@@ -687,6 +710,205 @@ def _decode_specs_shm(sources, specs, sizes, offsets, options):
     finally:
         in_arena.destroy()
         out_arena.destroy()
+
+
+class SpecStream:
+    """Producer/consumer overlap of Tier-2 parsing and Tier-1 decoding.
+
+    Built from the static facts only — the tile buffers and every code
+    block's output size, both known from geometry before a single packet
+    header is read — so the shared arenas exist up front.
+    :meth:`submit_tile` ships one tile's chunks to the pool the moment
+    its codeword spans are parsed; :meth:`drain_tile` blocks only on
+    that tile's chunks.  The caller parses tile *i+1* (and gathers and
+    reconstructs tile *i*) while earlier submissions are still decoding
+    in the workers — the pipeline overlap of the decode schedule.
+
+    Use :func:`open_spec_stream`; a broken pool degrades per chunk
+    exactly like the barrier fan-out (completed chunks keep their
+    results, missing ones re-decode in-process).
+    """
+
+    def __init__(self, sources: Sequence[bytes], sizes: Sequence[int],
+                 options: DecodeOptions, pool: ProcessPoolExecutor):
+        self._options = options
+        self._pool = pool
+        self._sources = list(sources)
+        self._source_bases: list[int] = []
+        total_in = 0
+        for source in self._sources:
+            self._source_bases.append(total_in)
+            total_in += len(source)
+        self._offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self._offsets[1:])
+        total_out = int(self._offsets[-1])
+        with telemetry.software_span("shm", "arena-build", "parallel"):
+            self._in_arena = SharedArena(total_in)
+            position = 0
+            for source in self._sources:
+                self._in_arena.buf[position:position + len(source)] = source
+                position += len(source)
+            try:
+                self._out_arena = SharedArena(total_out * 4)
+            except BaseException:
+                self._in_arena.destroy()
+                raise
+        telemetry.count(
+            "jpeg2000.parallel.bytes_shared", total_in + total_out * 4
+        )
+        self._tiles: dict = {}
+        self._ops: list = [0] * len(sizes)
+        self._broken = False
+        self._blocks_by_pid: dict = {}
+
+    def submit_tile(self, source_index: int, specs: Sequence[BlockSpec],
+                    first: int) -> bool:
+        """Chunk and submit one parsed tile's blocks; False = unusable
+        (a block cannot ride the int32 arena; caller falls back)."""
+        if any(spec.num_bitplanes > _MAX_ARENA_BITPLANES for spec in specs):
+            return False
+        options = self._options
+        base = self._source_bases[source_index]
+        costs = [spec.cost for spec in specs]
+        chunks = plan_chunks(costs, options.effective_workers, options.chunk_size)
+        futures = []
+        with telemetry.software_span(
+            "shm", "submit", "parallel", tile=source_index, chunks=len(chunks)
+        ):
+            for chunk in chunks:
+                if self._broken:
+                    # Chunks without a future are re-decoded in-process
+                    # by drain_tile — same degradation as the barrier
+                    # fan-out, just discovered at submit time.
+                    break
+                blocks = []
+                for local in chunk:
+                    placed = specs[local].rebased(base)
+                    blocks.append((
+                        int(self._offsets[first + local]), placed.width,
+                        placed.height, placed.orientation,
+                        placed.num_bitplanes, placed.num_passes,
+                        placed.segments,
+                    ))
+                payload = (
+                    self._in_arena.name, self._out_arena.name,
+                    options.kernel, tuple(blocks),
+                )
+                if telemetry.enabled():
+                    telemetry.count(
+                        "jpeg2000.parallel.bytes_pickled",
+                        len(pickle.dumps(payload)),
+                    )
+                try:
+                    futures.append(
+                        self._pool.submit(_decode_chunk_shm, payload)
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    self._mark_broken()
+                    break
+        self._tiles[source_index] = (
+            futures,
+            [[first + local for local in chunk] for chunk in chunks],
+            list(specs),
+            first,
+        )
+        return True
+
+    def _mark_broken(self) -> None:
+        self._broken = True
+        _close_pool()
+        telemetry.count("jpeg2000.parallel.broken_pools")
+
+    def drain_tile(self, source_index: int):
+        """Wait for one tile's chunks; returns (flat, offsets, ops) with
+        offsets local to the tile (``scatter_entropy(..., first=0)``)."""
+        futures, chunk_ids, specs, first = self._tiles.pop(source_index)
+        failed: list = []
+        with telemetry.software_span(
+            "shm", "drain", "parallel", tile=source_index, chunks=len(futures)
+        ):
+            for index, ids in enumerate(chunk_ids):
+                # A broken pool at submit time leaves trailing chunks
+                # with no future; they go straight to the resume path.
+                future = futures[index] if index < len(futures) else None
+                result = None
+                if future is None:
+                    pass
+                elif self._broken:
+                    if future.done() and not future.cancelled():
+                        try:
+                            result = future.result()
+                        except BaseException:
+                            result = None
+                else:
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        self._mark_broken()
+                if result is None:
+                    failed.append(ids)
+                else:
+                    pid, op_counts = result
+                    self._blocks_by_pid[pid] = (
+                        self._blocks_by_pid.get(pid, 0) + len(ids)
+                    )
+                    for block, ops in zip(ids, op_counts):
+                        self._ops[block] = ops
+        count = len(specs)
+        start = int(self._offsets[first])
+        end = int(self._offsets[first + count])
+        flat = np.frombuffer(
+            self._out_arena.buf, dtype=np.int32,
+            count=end - start, offset=start * 4,
+        ).copy()
+        if failed:
+            telemetry.count("jpeg2000.parallel.chunks_resumed",
+                            len(chunk_ids) - len(failed))
+            telemetry.count("jpeg2000.parallel.chunks_redecoded", len(failed))
+            source = self._sources[source_index]
+            single = (
+                KERNEL_REFERENCE
+                if self._options.kernel == KERNEL_REFERENCE else KERNEL_FAST
+            )
+            for ids in failed:
+                for block in ids:
+                    spec = specs[block - first]
+                    task = (
+                        spec.codeword(source),
+                        spec.width, spec.height, spec.orientation,
+                        spec.num_bitplanes, spec.num_passes,
+                    )
+                    values, ops = decode_block(task, single)
+                    local = int(self._offsets[block]) - start
+                    flat[local:local + spec.size] = values
+                    self._ops[block] = ops
+        offsets = self._offsets[first:first + count + 1] - start
+        return flat, offsets, self._ops[first:first + count]
+
+    def close(self) -> None:
+        """Destroy the arenas (idempotent) and record pool occupancy."""
+        _record_occupancy(self._blocks_by_pid)
+        self._blocks_by_pid = {}
+        self._in_arena.destroy()
+        self._out_arena.destroy()
+
+
+def open_spec_stream(
+    sources: Sequence[bytes], sizes: Sequence[int],
+    options: DecodeOptions = DEFAULT_OPTIONS,
+) -> Optional[SpecStream]:
+    """A :class:`SpecStream` over *sources*, or ``None`` when streaming
+    is unusable here (no shared memory, no pool, sequential options) —
+    the caller then takes the barrier schedule instead."""
+    if shared_memory is None or not options.shared_memory or not options.parallel:
+        return None
+    pool = _get_pool(options.effective_workers, options.start_method)
+    if pool is None:
+        return None
+    try:
+        return SpecStream(sources, sizes, options, pool)
+    except (OSError, PermissionError, ValueError):
+        return None
 
 
 def decode_blocks_spec(

@@ -35,6 +35,7 @@ kernel the shared-memory parallel path ships to its workers.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
@@ -49,6 +50,91 @@ _QE = tuple(row[0] for row in QE_TABLE)
 _NMPS = tuple(row[1] for row in QE_TABLE)
 _NLPS = tuple(row[2] for row in QE_TABLE)
 _SWITCH = tuple(row[3] for row in QE_TABLE)
+#: Qe pre-shifted into Chigh position: ``c >> 16 < qe`` is exactly
+#: ``c < qe << 16`` (c stays below 2**32), saving a shift per decision.
+_QE16 = tuple(q << 16 for q in _QE)
+
+#: For a packed 4-bit column code (bit r = stripe row r), the row
+#: indices whose bit is set, in scan order.
+_CODE_ROWS = tuple(
+    tuple(r for r in range(4) if code & (1 << r)) for code in range(16)
+)
+
+#: Neutral value of the packed sign-neighbourhood byte kept by the
+#: batched kernel: horizontal contribution + 2 in the low nibble,
+#: vertical contribution + 2 in the high nibble (each raw sum is in
+#: [-2, 2], so the biased nibbles stay in 0..4 and never borrow/carry).
+_HV_NEUTRAL = 0x22
+
+#: Packed sign-neighbourhood byte -> (sign context, xor bit), with the
+#: reference's clamp of each contribution to [-1, 1] baked in.  Bytes
+#: with a nibble above 4 are unreachable; their entries are padding.
+_SC_FULL = tuple(
+    SC_LUT[
+        (max(-1, min(1, (byte & 15) - 2)) + 1) * 3
+        + (max(-1, min(1, (byte >> 4) - 2)) + 1)
+    ]
+    if (byte & 15) <= 4 and (byte >> 4) <= 4
+    else (0, 0)
+    for byte in range(256)
+)
+#: _SC_FULL split into two byte tables (context, xor bit) so the hot
+#: path does two O(1) byte reads instead of a tuple unpack.
+_SC_CTX = bytes(pair[0] for pair in _SC_FULL)
+_SC_XOR = bytes(pair[1] for pair in _SC_FULL)
+
+
+@lru_cache(maxsize=None)
+def _edge_flags(w: int, h: int) -> bytes:
+    """Per-sample boundary byte: bit 0 = no left neighbour, bit 1 = no
+    right, bit 2 = no up, bit 3 = no down.  Zero for interior samples,
+    which lets the significance propagation skip all four edge tests."""
+    e = np.zeros((h, w), dtype=np.uint8)
+    e[:, 0] |= 1
+    e[:, -1] |= 2
+    e[0, :] |= 4
+    e[-1, :] |= 8
+    return bytes(e.ravel())
+
+@lru_cache(maxsize=None)
+def _scan_layout(w: int, h: int):
+    """Stripe table and scan-order index permutation for a block shape.
+
+    Returns ``(stripes, order)`` where ``stripes`` is a tuple of
+    ``(stripe_top, stripe_rows, base)`` and ``order`` is the flat sample
+    indices in EBCOT scan order (stripe-major, then column, then row).
+    """
+    stripes = []
+    for top in range(0, h, 4):
+        rows = 4 if top + 4 <= h else h - top
+        stripes.append((top, rows, top * w))
+    cols = np.arange(w, dtype=np.intp)[:, None]
+    order = np.concatenate([
+        (base + cols + np.arange(rows, dtype=np.intp)[None, :] * w).ravel()
+        for top, rows, base in stripes
+    ])
+    return tuple(stripes), order
+
+
+def _column_codes(mask: np.ndarray, w: int, h: int) -> bytearray:
+    """Pack a flat boolean sample mask into per-column stripe codes.
+
+    Output byte ``s * w + x`` has bit ``r`` set iff ``mask`` is true at
+    stripe ``s``, column ``x``, stripe row ``r``.
+    """
+    full = h & ~3
+    parts = []
+    if full:
+        m = mask[: full * w].reshape(-1, 4, w).astype(np.uint8)
+        parts.append(m[:, 0] | (m[:, 1] << 1) | (m[:, 2] << 2) | (m[:, 3] << 3))
+    tail = h - full
+    if tail:
+        t = mask[full * w:].reshape(tail, w).astype(np.uint8)
+        code = t[0].copy()
+        for r in range(1, tail):
+            code |= t[r] << r
+        parts.append(code.reshape(1, w))
+    return bytearray(np.concatenate(parts).tobytes())
 
 
 class FastCodeBlockDecoder:
@@ -81,6 +167,7 @@ class FastCodeBlockDecoder:
         length = len(data)
         zc = ZC_LUT[self.orientation]
         qe_tab = _QE
+        qe16_tab = _QE16
         nmps_tab = _NMPS
         nlps_tab = _NLPS
         switch_tab = _SWITCH
@@ -124,14 +211,17 @@ class FastCodeBlockDecoder:
             """One MQ decision in context *k* (flattened hot loop).
 
             ``c`` stays below 2**32 between calls, so ``c >> 16`` never
-            exceeds 0xFFFF and the spec's Chigh mask is unnecessary here.
+            exceeds 0xFFFF and the spec's Chigh mask is unnecessary here;
+            the ``c < qe << 16`` comparison is the same test with the
+            shift precomputed in ``_QE16``.
             """
             nonlocal a, c, ct, bp, ops
             i = cx_index[k]
             qe = qe_tab[i]
+            qe16 = qe16_tab[i]
             ops += 1
             a -= qe
-            if (c >> 16) < qe:
+            if c < qe16:
                 # LPS exchange path
                 if a < qe:
                     bit = cx_mps[k]
@@ -143,7 +233,7 @@ class FastCodeBlockDecoder:
                     cx_index[k] = nlps_tab[i]
                 a = qe
             else:
-                c -= qe << 16
+                c -= qe16
                 if a & 0x8000:
                     return cx_mps[k]
                 # MPS exchange path
@@ -377,12 +467,17 @@ def decode_codeblock_batch(blocks: Sequence[BatchBlock], out=None):
         out = np.zeros(total, dtype=np.int32)
 
     qe_tab = _QE
+    qe16_tab = _QE16
     nmps_tab = _NMPS
     nlps_tab = _NLPS
     switch_tab = _SWITCH
+    sc_ctx = _SC_CTX
+    sc_xor = _SC_XOR
 
     # Scratch buffers sized to the largest block of the batch, re-zeroed
     # per block — the kernels only ever touch the first ``size`` bytes.
+    # The NumPy views alias the bytearrays (same memory) so the pass
+    # planners below can reduce coding state without copying it.
     max_size = 0
     for block in blocks:
         size = block[1] * block[2]
@@ -392,17 +487,26 @@ def decode_codeblock_batch(blocks: Sequence[BatchBlock], out=None):
     refined = bytearray(max_size)
     sign = bytearray(max_size)
     nb = bytearray(max_size)
+    hv = bytearray(bytes([_HV_NEUTRAL]) * max_size)
     zero_fill = bytes(max_size)
+    hv_fill = bytes(hv)
+    sig_np = np.frombuffer(sigma, dtype=np.uint8)
+    vis_np = np.frombuffer(visited, dtype=np.uint8)
+    ref_np = np.frombuffer(refined, dtype=np.uint8)
+    nb_np = np.frombuffer(nb, dtype=np.uint8)
     cx_index = [0] * 19
     cx_mps = [0] * 19
 
     # Per-block state the closures read; rebound in the block loop.
     data = b""
     length = 0
-    w = h = w1 = h1 = 0
+    w = h = 0
     size = 0
+    edge = b""
     zc = ZC_LUT["LL"]
     magnitude: list = []
+    stripes: tuple = ()
+    order: np.ndarray = np.empty(0, dtype=np.intp)
     a = c = ct = bp = ops = 0
 
     def mq_decode(k: int) -> int:
@@ -411,9 +515,10 @@ def decode_codeblock_batch(blocks: Sequence[BatchBlock], out=None):
         nonlocal a, c, ct, bp, ops
         i = cx_index[k]
         qe = qe_tab[i]
+        qe16 = qe16_tab[i]
         ops += 1
         a -= qe
-        if (c >> 16) < qe:
+        if c < qe16:
             if a < qe:
                 bit = cx_mps[k]
                 cx_index[k] = nmps_tab[i]
@@ -424,7 +529,7 @@ def decode_codeblock_batch(blocks: Sequence[BatchBlock], out=None):
                 cx_index[k] = nlps_tab[i]
             a = qe
         else:
-            c -= qe << 16
+            c -= qe16
             if a & 0x8000:
                 return cx_mps[k]
             if a < qe:
@@ -458,137 +563,407 @@ def decode_codeblock_batch(blocks: Sequence[BatchBlock], out=None):
                 break
         return bit
 
-    def set_significant(idx: int, x: int, y: int) -> None:
+    def make_significant(idx, la, lc, lct, lbp, lops):
+        # Fused set-significant + sign decode (the two always run as a
+        # pair).  The MQ registers travel as arguments and return value
+        # — never through the closure cells — so the pass loops keep
+        # them in locals across significance events.  The sign context
+        # comes from one lookup on the packed sign-neighbourhood byte
+        # ``hv[idx]``, maintained incrementally below: a sample pushes
+        # its +/-1 contribution to its four h/v neighbours the moment
+        # its own sign is decoded — exactly when the reference's live
+        # neighbour scan would start seeing it (set-significant and
+        # sign decode of one sample are adjacent; no other sample's
+        # sign decode can interleave).
         sigma[idx] = 1
-        left = x > 0
-        right = x < w1
-        if left:
+        e = edge[idx]
+        if e == 0:
+            jup = idx - w
+            jdn = idx + w
             nb[idx - 1] += 1
-        if right:
             nb[idx + 1] += 1
-        if y > 0:
-            up = idx - w
-            nb[up] += 4
+            nb[jup] += 4
+            nb[jup - 1] += 16
+            nb[jup + 1] += 16
+            nb[jdn] += 4
+            nb[jdn - 1] += 16
+            nb[jdn + 1] += 16
+        else:
+            left = not e & 1
+            right = not e & 2
             if left:
-                nb[up - 1] += 16
+                nb[idx - 1] += 1
             if right:
-                nb[up + 1] += 16
-        if y < h1:
-            down = idx + w
-            nb[down] += 4
-            if left:
-                nb[down - 1] += 16
-            if right:
-                nb[down + 1] += 16
-
-    def decode_sign(idx: int, x: int, y: int) -> None:
-        h_sum = 0
-        if x > 0:
-            j = idx - 1
-            if sigma[j]:
-                h_sum = -1 if sign[j] else 1
-        if x < w1:
-            j = idx + 1
-            if sigma[j]:
-                h_sum += -1 if sign[j] else 1
-        if h_sum > 1:
-            h_sum = 1
-        elif h_sum < -1:
-            h_sum = -1
-        v_sum = 0
-        if y > 0:
-            j = idx - w
-            if sigma[j]:
-                v_sum = -1 if sign[j] else 1
-        if y < h1:
-            j = idx + w
-            if sigma[j]:
-                v_sum += -1 if sign[j] else 1
-        if v_sum > 1:
-            v_sum = 1
-        elif v_sum < -1:
-            v_sum = -1
-        ctx, xor_bit = SC_LUT[h_sum * 3 + v_sum + 4]
-        sign[idx] = mq_decode(ctx) ^ xor_bit
+                nb[idx + 1] += 1
+            if not e & 4:
+                j = idx - w
+                nb[j] += 4
+                if left:
+                    nb[j - 1] += 16
+                if right:
+                    nb[j + 1] += 16
+            if not e & 8:
+                j = idx + w
+                nb[j] += 4
+                if left:
+                    nb[j - 1] += 16
+                if right:
+                    nb[j + 1] += 16
+        hvb = hv[idx]
+        ctx = sc_ctx[hvb]
+        xor_bit = sc_xor[hvb]
+        # Fully inlined MQ decision (see significance_pass).
+        i = cx_index[ctx]
+        qe = qe_tab[i]
+        aa = la - qe
+        q16 = qe16_tab[i]
+        if aa & 0x8000 and lc >= q16:
+            la = aa
+            lc -= q16
+            lops += 1
+            s = cx_mps[ctx] ^ xor_bit
+        else:
+            lops += 1
+            if lc < q16:
+                if aa < qe:
+                    bit = cx_mps[ctx]
+                    cx_index[ctx] = nmps_tab[i]
+                else:
+                    bit = 1 - cx_mps[ctx]
+                    if switch_tab[i]:
+                        cx_mps[ctx] = bit
+                    cx_index[ctx] = nlps_tab[i]
+                la = qe
+            else:
+                lc -= q16
+                if aa < qe:
+                    bit = 1 - cx_mps[ctx]
+                    if switch_tab[i]:
+                        cx_mps[ctx] = bit
+                    cx_index[ctx] = nlps_tab[i]
+                else:
+                    bit = cx_mps[ctx]
+                    cx_index[ctx] = nmps_tab[i]
+                la = aa
+            while la < 0x8000:
+                if lct == 0:
+                    byte = data[lbp] if lbp < length else 0xFF
+                    if byte == 0xFF:
+                        if (data[lbp + 1] if lbp + 1 < length
+                                else 0xFF) > 0x8F:
+                            lc += 0xFF00
+                            lct = 8
+                        else:
+                            lbp += 1
+                            lc += (data[lbp] if lbp < length else 0xFF) << 9
+                            lct = 7
+                    else:
+                        lbp += 1
+                        lc += (data[lbp] if lbp < length else 0xFF) << 8
+                        lct = 8
+                la <<= 1
+                lc = (lc << 1) & 0xFFFFFFFF
+                lct -= 1
+                lops += 1
+            s = bit ^ xor_bit
+        sign[idx] = s
+        delta_h = -1 if s else 1
+        delta_v = -16 if s else 16
+        if e == 0:
+            hv[idx - 1] += delta_h
+            hv[idx + 1] += delta_h
+            hv[jup] += delta_v
+            hv[jdn] += delta_v
+        else:
+            if not e & 1:
+                hv[idx - 1] += delta_h
+            if not e & 2:
+                hv[idx + 1] += delta_h
+            if not e & 4:
+                hv[idx - w] += delta_v
+            if not e & 8:
+                hv[idx + w] += delta_v
+        return la, lc, lct, lbp, lops
 
     def significance_pass(bit_mask: int) -> None:
-        sig, vis, counts, mag = sigma, visited, nb, magnitude
-        dec, lut = mq_decode, zc
-        for stripe_top in range(0, h, 4):
-            stripe_rows = 4 if stripe_top + 4 <= h else h - stripe_top
-            base = stripe_top * w
-            for x in range(w):
-                idx = base + x
-                for y in range(stripe_top, stripe_top + stripe_rows):
-                    if not sig[idx]:
-                        packed = counts[idx]
-                        if packed:
-                            vis[idx] = 1
-                            if dec(lut[packed]):
-                                mag[idx] |= bit_mask
-                                set_significant(idx, x, y)
-                                decode_sign(idx, x, y)
-                    idx += w
+        # A sample only becomes significant at its own examination, and
+        # the scan examines each position once — so every sample that is
+        # insignificant at pass entry is still insignificant when the
+        # scan reaches it, and samples significant at entry are skipped
+        # outright.  The scan-order candidate list {not significant at
+        # pass entry} is therefore exact and can be extracted with
+        # NumPy; only the neighbour-count gate (which changes mid-pass)
+        # stays a live per-sample read.  The whole MQ decision —
+        # MPS-no-renormalisation fast case AND the exchange/renorm slow
+        # case — is inlined with the register state held in locals;
+        # ``make_significant`` takes and returns the registers, so they
+        # never touch the closure cells inside the loop.
+        nonlocal a, c, ct, bp, ops
+        vis, counts, mag = visited, nb, magnitude
+        lut = zc
+        qe_t, qe16_t, cxi, cxm = qe_tab, qe16_tab, cx_index, cx_mps
+        nmps_t, nlps_t, sw_t = nmps_tab, nlps_tab, switch_tab
+        dat, dlen = data, length
+        la, lc, lct, lbp, lops = a, c, ct, bp, ops
+        cand = order[sig_np[order] == 0]
+        for idx in cand.tolist():
+            packed = counts[idx]
+            if packed:
+                vis[idx] = 1
+                k = lut[packed]
+                i = cxi[k]
+                qe = qe_t[i]
+                aa = la - qe
+                q16 = qe16_t[i]
+                if aa & 0x8000 and lc >= q16:
+                    la = aa
+                    lc -= q16
+                    lops += 1
+                    bit = cxm[k]
+                else:
+                    lops += 1
+                    if lc < q16:
+                        if aa < qe:
+                            bit = cxm[k]
+                            cxi[k] = nmps_t[i]
+                        else:
+                            bit = 1 - cxm[k]
+                            if sw_t[i]:
+                                cxm[k] = bit
+                            cxi[k] = nlps_t[i]
+                        la = qe
+                    else:
+                        lc -= q16
+                        if aa < qe:
+                            bit = 1 - cxm[k]
+                            if sw_t[i]:
+                                cxm[k] = bit
+                            cxi[k] = nlps_t[i]
+                        else:
+                            bit = cxm[k]
+                            cxi[k] = nmps_t[i]
+                        la = aa
+                    while la < 0x8000:
+                        if lct == 0:
+                            byte = dat[lbp] if lbp < dlen else 0xFF
+                            if byte == 0xFF:
+                                if (dat[lbp + 1] if lbp + 1 < dlen
+                                        else 0xFF) > 0x8F:
+                                    lc += 0xFF00
+                                    lct = 8
+                                else:
+                                    lbp += 1
+                                    lc += (dat[lbp] if lbp < dlen
+                                           else 0xFF) << 9
+                                    lct = 7
+                            else:
+                                lbp += 1
+                                lc += (dat[lbp] if lbp < dlen else 0xFF) << 8
+                                lct = 8
+                        la <<= 1
+                        lc = (lc << 1) & 0xFFFFFFFF
+                        lct -= 1
+                        lops += 1
+                if bit:
+                    mag[idx] |= bit_mask
+                    la, lc, lct, lbp, lops = make_significant(
+                        idx, la, lc, lct, lbp, lops
+                    )
+        a, c, ct, bp, ops = la, lc, lct, lbp, lops
 
     def refinement_pass(bit_mask: int) -> None:
-        sig, vis, counts, mag, ref = sigma, visited, nb, magnitude, refined
-        dec = mq_decode
-        for stripe_top in range(0, h, 4):
-            stripe_rows = 4 if stripe_top + 4 <= h else h - stripe_top
-            base = stripe_top * w
-            for x in range(w):
-                idx = base + x
-                for _ in range(stripe_rows):
-                    if sig[idx] and not vis[idx]:
-                        if ref[idx]:
-                            k = 16
-                        elif counts[idx]:
-                            k = 15
+        # The candidate set {significant and not visited} is frozen for
+        # the whole pass (nothing the pass writes feeds back into it),
+        # so the exact scan-order candidate list and each candidate's
+        # context can be computed up front with NumPy; the serial MQ
+        # decisions then run over just those samples.
+        mag = magnitude
+        cand_mask = (sig_np[:size] != 0) & (vis_np[:size] == 0)
+        cand = order[cand_mask[order]]
+        if not cand.size:
+            return
+        ks = np.where(
+            ref_np[cand] != 0, 16, np.where(nb_np[cand] != 0, 15, 14)
+        )
+        nonlocal a, c, ct, bp, ops
+        qe_t, qe16_t, cxi, cxm = qe_tab, qe16_tab, cx_index, cx_mps
+        nmps_t, nlps_t, sw_t = nmps_tab, nlps_tab, switch_tab
+        dat, dlen = data, length
+        la, lc, lct, lbp, lops = a, c, ct, bp, ops
+        for idx, k in zip(cand.tolist(), ks.tolist()):
+            # Fully inlined MQ decision, all-local registers (see
+            # significance_pass); no sign decode here, so the loop never
+            # touches the closure cells.
+            i = cxi[k]
+            qe = qe_t[i]
+            aa = la - qe
+            q16 = qe16_t[i]
+            if aa & 0x8000 and lc >= q16:
+                la = aa
+                lc -= q16
+                lops += 1
+                bit = cxm[k]
+            else:
+                lops += 1
+                if lc < q16:
+                    if aa < qe:
+                        bit = cxm[k]
+                        cxi[k] = nmps_t[i]
+                    else:
+                        bit = 1 - cxm[k]
+                        if sw_t[i]:
+                            cxm[k] = bit
+                        cxi[k] = nlps_t[i]
+                    la = qe
+                else:
+                    lc -= q16
+                    if aa < qe:
+                        bit = 1 - cxm[k]
+                        if sw_t[i]:
+                            cxm[k] = bit
+                        cxi[k] = nlps_t[i]
+                    else:
+                        bit = cxm[k]
+                        cxi[k] = nmps_t[i]
+                    la = aa
+                while la < 0x8000:
+                    if lct == 0:
+                        byte = dat[lbp] if lbp < dlen else 0xFF
+                        if byte == 0xFF:
+                            if (dat[lbp + 1] if lbp + 1 < dlen
+                                    else 0xFF) > 0x8F:
+                                lc += 0xFF00
+                                lct = 8
+                            else:
+                                lbp += 1
+                                lc += (dat[lbp] if lbp < dlen else 0xFF) << 9
+                                lct = 7
                         else:
-                            k = 14
-                        if dec(k):
-                            mag[idx] |= bit_mask
-                        ref[idx] = 1
-                    idx += w
+                            lbp += 1
+                            lc += (dat[lbp] if lbp < dlen else 0xFF) << 8
+                            lct = 8
+                    la <<= 1
+                    lc = (lc << 1) & 0xFFFFFFFF
+                    lct -= 1
+                    lops += 1
+            if bit:
+                mag[idx] |= bit_mask
+        a, c, ct, bp, ops = la, lc, lct, lbp, lops
+        ref_np[cand] = 1
 
     def cleanup_pass(bit_mask: int) -> None:
-        sig, vis, counts, mag = sigma, visited, nb, magnitude
+        # The examinee set {neither significant nor visited at pass
+        # entry} is static during the pass: visited is never written
+        # here, and a sample's own significance only changes at its own
+        # examination (after which the scan has moved past it).  Packing
+        # it into per-column 4-bit codes lets the scan skip exhausted
+        # columns and dead rows; neighbour counts are still read live,
+        # exactly like the reference.
+        nonlocal a, c, ct, bp, ops
+        counts, mag = nb, magnitude
         dec, lut = mq_decode, zc
-        for stripe_top in range(0, h, 4):
-            stripe_rows = 4 if stripe_top + 4 <= h else h - stripe_top
-            base = stripe_top * w
-            full = stripe_rows == 4
+        qe_t, qe16_t, cxi, cxm = qe_tab, qe16_tab, cx_index, cx_mps
+        nmps_t, nlps_t, sw_t = nmps_tab, nlps_tab, switch_tab
+        dat, dlen = data, length
+        exam = (sig_np[:size] == 0) & (vis_np[:size] == 0)
+        codes = _column_codes(exam, w, h)
+        rows_for = _CODE_ROWS
+        ci = 0
+        la, lc, lct, lbp, lops = a, c, ct, bp, ops
+        for stripe_top, stripe_rows, base in stripes:
             for x in range(w):
+                code = codes[ci]
+                ci += 1
+                if not code:
+                    continue
                 top = base + x
                 start_row = 0
-                if full:
+                if code == 15:
                     i1 = top + w
                     i2 = i1 + w
                     i3 = i2 + w
-                    if not (
-                        sig[top] or vis[top] or counts[top]
-                        or sig[i1] or vis[i1] or counts[i1]
-                        or sig[i2] or vis[i2] or counts[i2]
-                        or sig[i3] or vis[i3] or counts[i3]
-                    ):
+                    if not (counts[top] or counts[i1] or counts[i2]
+                            or counts[i3]):
+                        # Run mode goes through the closures; round-trip
+                        # the local registers around it.
+                        a, c, ct, bp, ops = la, lc, lct, lbp, lops
                         if not dec(CTX_RUN):
+                            la, lc, lct, lbp, lops = a, c, ct, bp, ops
                             continue
                         first_one = (dec(CTX_UNI) << 1) | dec(CTX_UNI)
-                        y = stripe_top + first_one
                         idx = top + first_one * w
                         mag[idx] |= bit_mask
-                        set_significant(idx, x, y)
-                        decode_sign(idx, x, y)
+                        la, lc, lct, lbp, lops = make_significant(
+                            idx, a, c, ct, bp, ops
+                        )
                         start_row = first_one + 1
-                idx = top + start_row * w
-                for k in range(start_row, stripe_rows):
-                    if not (sig[idx] or vis[idx]):
-                        if dec(lut[counts[idx]]):
-                            y = stripe_top + k
-                            mag[idx] |= bit_mask
-                            set_significant(idx, x, y)
-                            decode_sign(idx, x, y)
-                    idx += w
+                for row in rows_for[code]:
+                    if row < start_row:
+                        continue
+                    idx = top + row * w
+                    # Fully inlined MQ decision, all-local registers
+                    # (see significance_pass).
+                    k = lut[counts[idx]]
+                    i = cxi[k]
+                    qe = qe_t[i]
+                    aa = la - qe
+                    q16 = qe16_t[i]
+                    if aa & 0x8000 and lc >= q16:
+                        la = aa
+                        lc -= q16
+                        lops += 1
+                        bit = cxm[k]
+                    else:
+                        lops += 1
+                        if lc < q16:
+                            if aa < qe:
+                                bit = cxm[k]
+                                cxi[k] = nmps_t[i]
+                            else:
+                                bit = 1 - cxm[k]
+                                if sw_t[i]:
+                                    cxm[k] = bit
+                                cxi[k] = nlps_t[i]
+                            la = qe
+                        else:
+                            lc -= q16
+                            if aa < qe:
+                                bit = 1 - cxm[k]
+                                if sw_t[i]:
+                                    cxm[k] = bit
+                                cxi[k] = nlps_t[i]
+                            else:
+                                bit = cxm[k]
+                                cxi[k] = nmps_t[i]
+                            la = aa
+                        while la < 0x8000:
+                            if lct == 0:
+                                byte = dat[lbp] if lbp < dlen else 0xFF
+                                if byte == 0xFF:
+                                    if (dat[lbp + 1] if lbp + 1 < dlen
+                                            else 0xFF) > 0x8F:
+                                        lc += 0xFF00
+                                        lct = 8
+                                    else:
+                                        lbp += 1
+                                        lc += (dat[lbp] if lbp < dlen
+                                               else 0xFF) << 9
+                                        lct = 7
+                                else:
+                                    lbp += 1
+                                    lc += (dat[lbp] if lbp < dlen
+                                           else 0xFF) << 8
+                                    lct = 8
+                            la <<= 1
+                            lc = (lc << 1) & 0xFFFFFFFF
+                            lct -= 1
+                            lops += 1
+                    if bit:
+                        mag[idx] |= bit_mask
+                        la, lc, lct, lbp, lops = make_significant(
+                            idx, la, lc, lct, lbp, lops
+                        )
+        a, c, ct, bp, ops = la, lc, lct, lbp, lops
 
     op_counts: list[int] = []
     for block_data, width, height, orientation, num_bitplanes, num_passes, offset in blocks:
@@ -610,13 +985,15 @@ def decode_codeblock_batch(blocks: Sequence[BatchBlock], out=None):
         data = block_data
         length = len(data)
         w, h = width, height
-        w1, h1 = w - 1, h - 1
+        edge = _edge_flags(w, h)
         zc = ZC_LUT[orientation]
+        stripes, order = _scan_layout(w, h)
         sigma[:size] = zero_fill[:size]
         visited[:size] = zero_fill[:size]
         refined[:size] = zero_fill[:size]
         sign[:size] = zero_fill[:size]
         nb[:size] = zero_fill[:size]
+        hv[:size] = hv_fill[:size]
         magnitude = [0] * size
         cx_index[:] = (0,) * 19
         cx_mps[:] = (0,) * 19

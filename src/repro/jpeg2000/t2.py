@@ -23,9 +23,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .bitio import BitReader, BitWriter
+from .bitio import BitReader, BitWriter, FastBitReader
 from .structure import CodeBlockGeometry, grid_dimensions
-from .tagtree import TagTree
+from .tagtree import FlatTagTree, TagTree
 
 #: Error-resilience marker codes (main codestream syntax, Annex A).
 SOP_MARKER = b"\xff\x91"
@@ -145,6 +145,9 @@ class PacketBand:
     blocks: list = field(default_factory=list)
     _inclusion_tree: Optional[TagTree] = None
     _zero_tree: Optional[TagTree] = None
+    #: Decode-side: use the array-backed :class:`FlatTagTree` (bit-for-bit
+    #: identical to :class:`TagTree`; no encoder half).
+    fast: bool = False
 
     @property
     def grid(self) -> tuple[int, int]:
@@ -153,8 +156,9 @@ class PacketBand:
     def trees(self) -> tuple[TagTree, TagTree]:
         if self._inclusion_tree is None:
             across, down = self.grid
-            self._inclusion_tree = TagTree(across, down)
-            self._zero_tree = TagTree(across, down)
+            tree_cls = FlatTagTree if self.fast else TagTree
+            self._inclusion_tree = tree_cls(across, down)
+            self._zero_tree = tree_cls(across, down)
         return self._inclusion_tree, self._zero_tree
 
 
@@ -291,6 +295,8 @@ def decode_packet(
     layer: int = 0,
     use_eph: bool = False,
     materialise: bool = True,
+    fast: bool = False,
+    ff_index=None,
 ) -> int:
     """Parse the packet at *offset*; accumulates into the bands' blocks.
 
@@ -303,8 +309,17 @@ def decode_packet(
     default) the bytes are additionally concatenated onto ``block.data``.
     The decoder passes ``materialise=False`` and works from the spans,
     so per-block codeword bytes are never copied on the parent side.
+
+    ``fast=True`` parses through :class:`~repro.jpeg2000.bitio.FastBitReader`
+    (pass *ff_index* — :func:`~repro.jpeg2000.bitio.ff_positions` over
+    *data* — to share the stuffing-boundary scan across the packets of a
+    tile); pair it with ``PacketBand(fast=True)`` so the tag trees are
+    array-backed too.  Both parses are bit-for-bit identical.
     """
-    reader = BitReader(data, offset)
+    if fast:
+        reader = FastBitReader(data, offset, ff_index)
+    else:
+        reader = BitReader(data, offset)
     if not reader.get_bit():
         position = reader.align()
         return _skip_eph(data, position, use_eph)

@@ -137,3 +137,83 @@ class TagTree:
         if value >= UNKNOWN:
             raise ValueError(f"leaf ({x},{y}) not determined yet")
         return value
+
+
+class FlatTagTree:
+    """Decoder-side tag tree over flat arrays (drop-in for :class:`TagTree`).
+
+    Node state lives in two flat lists indexed level-major; the
+    root-to-leaf path is pure index arithmetic (``x >> shift``,
+    ``y >> shift``) instead of a linked-node walk, and ``reset()`` is two
+    slice assignments instead of a full tree traversal.  Decode-side
+    behaviour is bit-for-bit identical to :meth:`TagTree.decode`; the
+    encoder half is intentionally absent (the encoder keeps the
+    readable node tree).
+    """
+
+    __slots__ = ("width", "height", "levels", "_widths", "_offsets",
+                 "_value", "_low", "_size", "_leaf_base")
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("tag tree dimensions must be positive")
+        self.width = width
+        self.height = height
+        levels = 1
+        w, h = width, height
+        while w > 1 or h > 1:
+            w = math.ceil(w / 2)
+            h = math.ceil(h / 2)
+            levels += 1
+        self.levels = levels
+        widths = []
+        offsets = []
+        total = 0
+        for level in range(levels):
+            shrink = levels - 1 - level
+            level_w = math.ceil(width / 2**shrink)
+            level_h = math.ceil(height / 2**shrink)
+            widths.append(level_w)
+            offsets.append(total)
+            total += level_w * level_h
+        self._widths = widths
+        self._offsets = offsets
+        self._size = total
+        self._leaf_base = offsets[-1]
+        self._value = [UNKNOWN] * total
+        self._low = [0] * total
+
+    def reset(self) -> None:
+        """Forget all values and coding state (decoder reuse between packets)."""
+        self._value[:] = [UNKNOWN] * self._size
+        self._low[:] = [0] * self._size
+
+    def decode(self, reader, x: int, y: int, threshold: int) -> bool:
+        """Consume bits; return True iff leaf(x,y) < threshold."""
+        values, lows = self._value, self._low
+        widths, offsets = self._widths, self._offsets
+        levels = self.levels
+        get_bit = reader.get_bit
+        low = 0
+        node = 0
+        for level in range(levels):
+            shift = levels - 1 - level
+            node = offsets[level] + (y >> shift) * widths[level] + (x >> shift)
+            node_low = lows[node]
+            if node_low > low:
+                low = node_low
+            value = values[node]
+            while low < threshold and low < value:
+                if get_bit():
+                    values[node] = value = low
+                else:
+                    low += 1
+            lows[node] = low
+        return values[node] < threshold
+
+    def value_of(self, x: int, y: int) -> int:
+        """The (resolved) value of a leaf."""
+        value = self._value[self._leaf_base + y * self.width + x]
+        if value >= UNKNOWN:
+            raise ValueError(f"leaf ({x},{y}) not determined yet")
+        return value

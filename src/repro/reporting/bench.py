@@ -26,8 +26,11 @@ SCHEMA_VERSION = 1
 #: Bump when the structure of BENCH_decode.json changes.  v2 added the
 #: per-variant ``schedules`` block (requested vs effective workers,
 #: chunking, granularity, transport) so a recorded "parallel" number can
-#: never silently be a sequential run.
-DECODE_SCHEMA_VERSION = 2
+#: never silently be a sequential run.  v3 added the per-variant
+#: ``stage_shares`` block (t2_parse / t1_decode / idwt / dequant_mct /
+#: gather wall-time fractions) so each recorded number carries its own
+#: Amdahl decomposition.
+DECODE_SCHEMA_VERSION = 3
 
 
 def machine_info() -> dict:
@@ -76,6 +79,10 @@ class DecodeBench:
         #: Per-variant scheduling facts (``DecodeOptions.schedule_info()``):
         #: requested vs effective workers, chunking, granularity, transport.
         self.schedules: dict[str, dict] = {}
+        #: Per mode, per variant: stage-name -> wall-time share (the
+        #: ``t2_parse``/``t1_decode``/``idwt``/``dequant_mct``/``gather``
+        #: decomposition from the decode-pipeline telemetry spans).
+        self.stage_shares: dict[str, dict[str, dict[str, float]]] = {}
 
     def record(self, mode: str, name: str, seconds: float) -> None:
         self.modes.setdefault(mode, {})[name] = seconds
@@ -83,6 +90,24 @@ class DecodeBench:
     def record_schedule(self, name: str, info: dict) -> None:
         """Attach scheduling metadata to the variant *name*."""
         self.schedules[name] = dict(info)
+
+    def record_stages(self, mode: str, name: str, shares: dict) -> None:
+        """Attach a stage-share decomposition to (*mode*, *name*)."""
+        self.stage_shares.setdefault(mode, {})[name] = {
+            stage: round(float(share), 4) for stage, share in shares.items()
+        }
+
+    def degraded(self, name: str) -> bool:
+        """True when the variant's recorded schedule was degraded (e.g.
+        requested workers clamped on a small host)."""
+        return bool(self.schedules.get(name, {}).get("degraded"))
+
+    def label(self, name: str) -> str:
+        """Row label for reports: the variant name, suffixed with
+        ``(degraded)`` when its schedule did not run as requested, so
+        the published csv/txt tables cannot pass a degraded number off
+        as the real schedule."""
+        return f"{name} (degraded)" if self.degraded(name) else name
 
     def speedups(self, mode: str) -> dict:
         timings = self.modes.get(mode, {})
@@ -110,6 +135,9 @@ class DecodeBench:
                     for name, seconds in timings.items()
                     if seconds > 0
                 }
+            shares = self.stage_shares.get(mode)
+            if shares:
+                entry["stage_shares"] = shares
             modes[mode] = entry
         result = {
             "schema": DECODE_SCHEMA_VERSION,

@@ -71,6 +71,35 @@ def test_payload_carries_schedule_metadata():
     assert schedule["degraded"] is True
 
 
+def test_payload_carries_stage_shares():
+    bench = DecodeBench({"tiles": 16}, baseline="reference")
+    bench.record("lossless", "batched-sequential", 3.0)
+    bench.record_stages(
+        "lossless", "batched-sequential",
+        {"t1_decode": 0.81234, "idwt": 0.1, "t2_parse": 0.01},
+    )
+    payload = bench.payload()
+    shares = payload["modes"]["lossless"]["stage_shares"]["batched-sequential"]
+    assert shares["t1_decode"] == 0.8123  # rounded to 4 places
+    assert set(shares) == {"t1_decode", "idwt", "t2_parse"}
+
+
+def test_stage_shares_absent_when_not_recorded():
+    bench = DecodeBench({"tiles": 16}, baseline="reference")
+    bench.record("lossless", "reference", 2.0)
+    assert "stage_shares" not in bench.payload()["modes"]["lossless"]
+
+
+def test_degraded_label_suffix():
+    bench = DecodeBench({"tiles": 16}, baseline="reference")
+    bench.record_schedule("parallel-shm-4", {"degraded": True})
+    bench.record_schedule("fast-sequential", {"degraded": False})
+    assert bench.degraded("parallel-shm-4")
+    assert bench.label("parallel-shm-4") == "parallel-shm-4 (degraded)"
+    assert bench.label("fast-sequential") == "fast-sequential"
+    assert bench.label("never-recorded") == "never-recorded"
+
+
 def test_write_round_trips_json(tmp_path):
     bench = DecodeBench({"tiles": 4}, baseline="reference")
     bench.record("lossy", "reference", 2.0)
