@@ -7,8 +7,57 @@ script — the quick path for anyone auditing the reproduction.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
+
+
+def _ledger_append(kind: str, label: str, **fields) -> None:
+    """Best-effort provenance: append one run-ledger record.
+
+    Never lets bookkeeping break the command it documents — a read-only
+    checkout or full disk loses the record, not the run.
+    """
+    from . import telemetry
+    from .telemetry import ledger
+
+    if not ledger.ledger_enabled():
+        return
+    try:
+        record = ledger.make_record(
+            kind, run_id=telemetry.run_id(), label=label, **fields
+        )
+        ledger.append_record(record)
+    except OSError:
+        pass
+
+
+@contextlib.contextmanager
+def _event_sink(path):
+    """Structured logging scoped to one CLI command, written as JSONL."""
+    from . import telemetry
+
+    if not path:
+        yield None
+        return
+    log = telemetry.install_log()
+    try:
+        yield log
+    finally:
+        telemetry.uninstall_log()
+        log.write(path)
+
+
+def _parallel_health(recorder) -> dict:
+    """Degraded/resumed flags from a recorder's parallel counters."""
+    if recorder is None:
+        return {"degraded": False, "resumed": False}
+    counter = recorder.metrics.counter
+    return {
+        "degraded": counter("jpeg2000.parallel.degraded") > 0,
+        "resumed": counter("jpeg2000.parallel.chunks_resumed") > 0
+        or counter("jpeg2000.parallel.chunks_redecoded") > 0,
+    }
 
 
 def _cmd_fig1(args) -> int:
@@ -179,24 +228,40 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_version(args) -> int:
+    import time
+
     from .casestudy import run_version
 
-    report = run_version(args.name, lossless=not args.lossy, functional=args.functional)
+    with _event_sink(getattr(args, "events", None)):
+        start = time.perf_counter()
+        report = run_version(
+            args.name, lossless=not args.lossy, functional=args.functional
+        )
+        elapsed = time.perf_counter() - start
     print(report)
     if args.functional and report.image is not None:
         print("functional decode produced an image "
               f"({report.image.width}x{report.image.height})")
+    mode = "lossy" if args.lossy else "lossless"
+    _ledger_append(
+        "simulate", f"{args.name}/{mode}",
+        spec_hash=_sim_spec_hash(args.name),
+        wall_seconds=elapsed,
+        decode_ms=report.decode_ms,
+    )
     return 0
 
 
 def _build_and_run(name: str, lossy: bool):
     """Build one model version with telemetry installed, run it, return
-    ``(report, recorder, profiler)``.
+    ``(report, recorder, profiler, seconds)``.
 
     The recorder must be installed *before* the model is constructed:
     the Simulator caches its telemetry reference at construction time so
     the disabled path stays branch-free.
     """
+    import time
+
     from . import telemetry
     from .casestudy.explorer import ALL_VERSIONS
     from .casestudy.workload import paper_workload
@@ -209,10 +274,23 @@ def _build_and_run(name: str, lossy: bool):
     try:
         model = ALL_VERSIONS[name](paper_workload(not lossy))
         profiler = SimProfiler(model.sim)
+        start = time.perf_counter()
         report = model.run()
+        elapsed = time.perf_counter() - start
     finally:
         telemetry.uninstall()
-    return report, recorder, profiler
+    return report, recorder, profiler, elapsed
+
+
+def _sim_spec_hash(name: str):
+    """Content hash of the catalogued design spec, or ``None``."""
+    from .design import catalog
+    from .experiments.fingerprint import spec_hash
+
+    try:
+        return spec_hash(catalog.get(name))
+    except Exception:
+        return None
 
 
 def _profile_decode(args) -> int:
@@ -251,17 +329,30 @@ def _profile_decode(args) -> int:
     options = DecodeOptions(kernel=args.kernel, workers=args.workers)
     recorder = telemetry.install()
     try:
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            decoder = Jpeg2000Decoder(codestream, options=options)
-            start = time.perf_counter()
-            decoder.decode()
-            elapsed = time.perf_counter() - start
-            shutdown_pool()
+        with _event_sink(getattr(args, "events", None)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                decoder = Jpeg2000Decoder(codestream, options=options)
+                start = time.perf_counter()
+                decoder.decode()
+                elapsed = time.perf_counter() - start
+                shutdown_pool()
     finally:
         telemetry.uninstall()
     shares = stage_shares(recorder)
     schedule = options.schedule_info()
+    _ledger_append(
+        "decode", f"{size}x{size}/{'lossy' if args.lossy else 'lossless'}",
+        schedule=schedule,
+        wall_seconds=elapsed,
+        metrics=recorder.metrics.as_dict(),
+        **_parallel_health(recorder),
+    )
+    if getattr(args, "prometheus", False):
+        from .telemetry.prometheus import render_recorder
+
+        sys.stdout.write(render_recorder(recorder))
+        return 0
     if args.json:
         json.dump({
             "workload": f"{size}x{size} RGB synthetic (seed 2008), "
@@ -290,8 +381,23 @@ def _cmd_profile(args) -> int:
 
     if args.name == "decode":
         return _profile_decode(args)
-    report, recorder, profiler = _build_and_run(args.name, args.lossy)
+    with _event_sink(getattr(args, "events", None)):
+        report, recorder, profiler, elapsed = _build_and_run(
+            args.name, args.lossy
+        )
     shares = stage_shares(recorder)
+    _ledger_append(
+        "simulate", f"{args.name}/{report.mode}",
+        spec_hash=_sim_spec_hash(args.name),
+        wall_seconds=elapsed,
+        metrics=recorder.metrics.as_dict(),
+        decode_ms=report.decode_ms,
+    )
+    if getattr(args, "prometheus", False):
+        from .telemetry.prometheus import render_recorder
+
+        sys.stdout.write(render_recorder(recorder))
+        return 0
     if args.json:
         payload = {
             "version": args.name,
@@ -366,14 +472,24 @@ def _cmd_sweep(args) -> int:
             for entry in experiments
         ]
 
+    import time
+
     runner = _make_runner(args)
-    for outcome in runner.sweep(experiments):
-        for table in outcome.tables().values():
-            print(table.render())
+    with _event_sink(getattr(args, "events", None)):
+        start = time.perf_counter()
+        for outcome in runner.sweep(experiments):
+            for table in outcome.tables().values():
+                print(table.render())
+        elapsed = time.perf_counter() - start
     stats = dict(runner.last_stats)
     if runner.cache is not None:
         stats.update(runner.cache.stats())
     print("# " + ", ".join(f"{key}={value}" for key, value in sorted(stats.items())))
+    _ledger_append(
+        "sweep", ",".join(args.experiments),
+        wall_seconds=elapsed,
+        batch=stats,
+    )
     return 0
 
 
@@ -445,12 +561,138 @@ def _cmd_experiments(args) -> int:
 def _cmd_trace(args) -> int:
     from .telemetry.export import write_chrome_trace
 
-    report, recorder, _profiler = _build_and_run(args.name, args.lossy)
+    with _event_sink(getattr(args, "events", None)):
+        report, recorder, _profiler, elapsed = _build_and_run(
+            args.name, args.lossy
+        )
     write_chrome_trace(recorder, args.out, label=f"repro {args.name}")
+    _ledger_append(
+        "simulate", f"{args.name}/{report.mode}",
+        spec_hash=_sim_spec_hash(args.name),
+        wall_seconds=elapsed,
+        decode_ms=report.decode_ms,
+    )
     print(report)
     print(f"wrote {len(recorder.spans)} spans to {args.out} "
           "(open in ui.perfetto.dev or chrome://tracing)")
     return 0
+
+
+def _cmd_ledger(args) -> int:
+    import json
+
+    from .telemetry import ledger
+
+    records = ledger.read_ledger(args.path)
+    if args.action == "list":
+        if not records:
+            print("ledger is empty")
+            return 0
+        from .reporting import Table
+
+        table = Table(
+            ["#", "run id", "kind", "label", "wall [s]", "flags"],
+            title=f"Run ledger ({len(records)} records)",
+        )
+        for index, record in enumerate(records):
+            flags = ",".join(
+                flag for flag in ("degraded", "resumed")
+                if record.get(flag)
+            ) or "-"
+            table.add_row(
+                index,
+                str(record.get("run_id", "?"))[:16],
+                record.get("kind", "?"),
+                record.get("label", "?"),
+                record.get("wall_seconds", "-"),
+                flags,
+            )
+        print(table.render())
+        return 0
+    try:
+        if args.action == "show":
+            record = ledger.find_record(records, args.token)
+            json.dump(record, sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
+        if args.action == "diff":
+            old = ledger.find_record(records, args.token)
+            new = ledger.find_record(records, args.other)
+            json.dump(
+                ledger.diff_records(old, new),
+                sys.stdout, indent=2, sort_keys=True,
+            )
+            print()
+            return 0
+    except LookupError as error:
+        raise SystemExit(str(error))
+    raise SystemExit(f"unknown ledger action {args.action!r}")
+
+
+def _cmd_sentinel(args) -> int:
+    import json
+
+    from .telemetry import ledger
+    from .tools import sentinel
+
+    baseline = sentinel.load_baselines(args.root)
+    if not baseline:
+        print("sentinel: no committed baseline files found", file=sys.stderr)
+        return 2
+
+    verdicts = {}
+    if args.self_test:
+        verdicts["self_test"] = sentinel.self_test(
+            baseline, args.tolerance, args.floor
+        )
+    if args.fresh:
+        fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+        verdicts["fresh"] = sentinel.compare(
+            baseline, fresh, args.tolerance, args.floor
+        )
+    if args.measure:
+        fresh = sentinel.measure_fresh()
+        verdicts["measured"] = sentinel.compare(
+            baseline, fresh, args.tolerance, args.floor
+        )
+    if args.ledger:
+        verdicts["ledger"] = sentinel.ledger_drift(
+            ledger.read_ledger(args.path), args.tolerance, args.floor
+        )
+    if not verdicts:
+        # --check alone: prove the baselines parse and the comparator
+        # passes them against themselves (structure check, zero cost).
+        verdicts["baseline"] = sentinel.compare(
+            baseline, dict(baseline), args.tolerance, args.floor
+        )
+
+    failed = [
+        name for name, verdict in verdicts.items()
+        if verdict["status"] not in ("ok",)
+    ]
+    payload = {
+        "status": "failed" if failed else "ok",
+        "baseline_metrics": len(baseline),
+        "checks": verdicts,
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for name, verdict in sorted(verdicts.items()):
+            print(f"{name}: {verdict['status']}")
+            for metric in verdict.get("regressions", []):
+                detail = verdict["metrics"].get(metric, {})
+                print(f"  REGRESSION {metric}: "
+                      f"expected ~{detail.get('median', detail.get('expected'))}s, "
+                      f"got {detail.get('fresh')}s")
+            for metric in verdict.get("missed", []):
+                print(f"  MISSED INJECTION {metric}")
+            for metric in verdict.get("spurious", []):
+                print(f"  SPURIOUS DETECTION {metric}")
+        print(f"sentinel: {payload['status']} "
+              f"({len(baseline)} baseline metrics)")
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -480,11 +722,17 @@ def main(argv=None) -> int:
 
     version_names = catalog.names()
 
+    def add_events_option(sub_parser):
+        sub_parser.add_argument("--events", default=None, metavar="PATH",
+                                help="write the structured event log of "
+                                "this run as JSON lines to PATH")
+
     p_run = sub.add_parser("run", help="simulate one design version")
     p_run.add_argument("name", choices=version_names)
     p_run.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
     p_run.add_argument("--functional", action="store_true",
                        help="really decode a codestream through the model")
+    add_events_option(p_run)
     p_run.set_defaults(func=_cmd_version)
 
     p_versions = sub.add_parser(
@@ -515,6 +763,10 @@ def main(argv=None) -> int:
     p_prof.add_argument("--workers", type=int, default=0,
                         help="decode profiling: worker processes "
                         "(0 = sequential)")
+    p_prof.add_argument("--prometheus", action="store_true",
+                        help="emit the run's metrics and span aggregates "
+                        "in Prometheus text exposition format")
+    add_events_option(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
     p_trace = sub.add_parser("trace", help="simulate one version and export "
@@ -523,6 +775,7 @@ def main(argv=None) -> int:
     p_trace.add_argument("--lossy", action="store_true", help="9/7 mode (default: 5/3)")
     p_trace.add_argument("--out", default="trace.json",
                          help="output path (default: trace.json)")
+    add_events_option(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
 
     def add_runner_options(sub_parser):
@@ -543,6 +796,7 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--telemetry", action="store_true",
                          help="record telemetry spans on simulation runs")
     add_runner_options(p_sweep)
+    add_events_option(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_results = sub.add_parser(
@@ -564,7 +818,58 @@ def main(argv=None) -> int:
         "experiments", help="list the registered experiments and groups")
     p_exps.set_defaults(func=_cmd_experiments)
 
+    p_ledger = sub.add_parser(
+        "ledger", help="inspect the run ledger (.repro/ledger.jsonl)")
+    p_ledger.add_argument("action", choices=["list", "show", "diff"],
+                          nargs="?", default="list")
+    p_ledger.add_argument("token", nargs="?", default="-1",
+                          help="record: index or run-id prefix "
+                          "(default: -1, the newest)")
+    p_ledger.add_argument("other", nargs="?", default="-1",
+                          help="diff only: the second record")
+    p_ledger.add_argument("--path", default=None,
+                          help="ledger file (default: .repro/ledger.jsonl, "
+                          "or $REPRO_LEDGER_PATH)")
+    p_ledger.set_defaults(func=_cmd_ledger)
+
+    p_sentinel = sub.add_parser(
+        "sentinel", help="perf-regression sentinel: compare timings "
+        "against the committed BENCH_* baselines")
+    p_sentinel.add_argument("--check", action="store_true",
+                            help="gate mode: exit 1 on any regression")
+    p_sentinel.add_argument("--self-test", action="store_true",
+                            dest="self_test",
+                            help="inject a 2x slowdown and assert the "
+                            "comparator detects it")
+    p_sentinel.add_argument("--measure", action="store_true",
+                            help="measure quick proxy timings on this "
+                            "machine and compare")
+    p_sentinel.add_argument("--fresh", default=None, metavar="FILE",
+                            help="compare a flat {metric: seconds} JSON")
+    p_sentinel.add_argument("--ledger", action="store_true",
+                            help="check drift within the run ledger")
+    p_sentinel.add_argument("--path", default=None,
+                            help="ledger file for --ledger")
+    p_sentinel.add_argument("--root", default=None,
+                            help="repository root holding the BENCH_* "
+                            "baselines (default: auto-detect)")
+    p_sentinel.add_argument("--tolerance", type=float, default=None,
+                            help="relative tolerance band (default 0.35)")
+    p_sentinel.add_argument("--floor", type=float, default=None,
+                            help="absolute noise floor in seconds "
+                            "(default 0.05)")
+    p_sentinel.add_argument("--json", action="store_true",
+                            help="emit the machine-readable verdict")
+    p_sentinel.set_defaults(func=_cmd_sentinel)
+
     args = parser.parse_args(argv)
+    if getattr(args, "func", None) is _cmd_sentinel:
+        from .tools import sentinel as _sentinel_mod
+
+        if args.tolerance is None:
+            args.tolerance = _sentinel_mod.DEFAULT_TOLERANCE
+        if args.floor is None:
+            args.floor = _sentinel_mod.DEFAULT_FLOOR_S
     return args.func(args)
 
 

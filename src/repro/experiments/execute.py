@@ -74,6 +74,7 @@ def _simulate(params: dict, options: dict) -> dict:
 
     saved_speedup = profiles.HW_COPROCESSOR_SPEEDUP
     saved_chunk = vta_versions.RMI_CHUNK_WORDS
+    ambient = telemetry.active()
     recorder = None
     profiler = None
     try:
@@ -97,6 +98,12 @@ def _simulate(params: dict, options: dict) -> dict:
         if options.get("telemetry") or options.get("profile"):
             recorder = telemetry.TelemetryRecorder()
             telemetry.install(recorder)
+        elif ambient is not None:
+            # Scope every run to its own registry: an ambient recorder
+            # (installed by a caller that is itself being traced) must
+            # not accumulate this run's spans and counters, or a later
+            # cache hit would report metrics from unrelated work.
+            telemetry.install(telemetry.TelemetryRecorder())
         model = model_cls(paper_workload(lossless))
         if options.get("profile"):
             from ..kernel.tracing import SimProfiler
@@ -107,8 +114,11 @@ def _simulate(params: dict, options: dict) -> dict:
     finally:
         profiles.HW_COPROCESSOR_SPEEDUP = saved_speedup
         vta_versions.RMI_CHUNK_WORDS = saved_chunk
-        if recorder is not None:
-            telemetry.uninstall()
+        if telemetry.active() is not ambient:
+            if ambient is not None:
+                telemetry.install(ambient)
+            else:
+                telemetry.uninstall()
 
     payload = {
         "version": report.version,

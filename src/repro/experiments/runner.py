@@ -81,6 +81,8 @@ class Runner:
     last_stats: dict = field(default_factory=dict)
 
     def run(self, requests: Iterable[RunRequest]) -> List[RunResult]:
+        from .. import telemetry
+
         requests = list(requests)
         keys = [cache_key(req) for req in requests]
         results: List[Optional[RunResult]] = [None] * len(requests)
@@ -135,6 +137,8 @@ class Runner:
             "deduplicated": sum(len(v) for v in aliases.values()),
             "jobs": self.jobs,
         }
+        if telemetry.log_enabled() or telemetry.flight_recorder() is not None:
+            telemetry.log_event("experiments.batch", **self.last_stats)
         return [result for result in results if result is not None]
 
     def _execute(self, requests: List[RunRequest]) -> List[tuple]:

@@ -641,6 +641,32 @@ class Jpeg2000Decoder:
     def decode(self) -> Image:
         params = self.parameters
         grid = TileGrid(params.width, params.height, params.tile_width, params.tile_height)
+        if telemetry.log_enabled() or telemetry.flight_recorder() is not None:
+            telemetry.log_event(
+                "decode.start",
+                width=params.width, height=params.height,
+                components=params.num_components, tiles=grid.num_tiles,
+                schedule=self.options.schedule_info(),
+                max_layers=self.max_layers,
+                max_resolution=self.max_resolution,
+            )
+            try:
+                image = self._decode_image(grid)
+            except BaseException as error:
+                telemetry.log_event(
+                    "decode.failed", error=type(error).__name__,
+                )
+                raise
+            telemetry.log_event(
+                "decode.done",
+                width=image.components[0].shape[1],
+                height=image.components[0].shape[0],
+            )
+            return image
+        return self._decode_image(grid)
+
+    def _decode_image(self, grid: TileGrid) -> Image:
+        params = self.parameters
         if self.max_resolution is None:
             tile_planes = self._tile_planes(grid)
             components = [

@@ -106,11 +106,24 @@ _degradations_warned: set = set()
 
 
 def _warn_degraded(requested: int, effective: int, reason: str) -> None:
+    # Metrics and the structured log see *every* degradation occurrence
+    # (a degraded run is diagnosable after the fact); the warning itself
+    # is deduplicated so a 16-tile decode does not print 16 times.
+    telemetry.count("jpeg2000.parallel.degraded")
+    telemetry.count(
+        "jpeg2000.parallel.degraded_total{reason=%s}" % reason
+    )
+    telemetry.log_event(
+        "parallel.degraded",
+        reason=reason, requested=requested, effective=effective,
+    )
+    flight = telemetry.flight_recorder()
+    if flight is not None:
+        flight.dump("parallel-degraded")
     key = (requested, effective, reason)
     if key in _degradations_warned:
         return
     _degradations_warned.add(key)
-    telemetry.count("jpeg2000.parallel.degraded")
     warnings.warn(
         f"parallel decode requested {requested} workers but is running "
         f"with {effective} ({reason}); wall-clock numbers from this run "
@@ -316,9 +329,27 @@ def _decode_tasks_sequential(tasks: Sequence[BlockTask], kernel: str) -> list:
 
 
 def _decode_chunk(payload):
-    """Pickle-transport worker entry point: decode a chunk of tasks."""
-    kernel, tasks = payload
-    return _decode_tasks_sequential(tasks, kernel)
+    """Pickle-transport worker entry point: decode a chunk of tasks.
+
+    Returns ``(results, events)``: when the parent requested structured
+    logging, ``events`` carries the worker-side event dicts (decoded in
+    this process, under this pid) for the parent to merge in chunk
+    order; otherwise it is ``None``.
+    """
+    kernel, tasks, want_events = payload
+    if not want_events:
+        return _decode_tasks_sequential(tasks, kernel), None
+    import time as _time
+
+    buffer = telemetry.capture_events()
+    started = _time.perf_counter()
+    results = _decode_tasks_sequential(tasks, kernel)
+    buffer.emit(
+        "parallel.chunk_decoded",
+        pid=os.getpid(), transport="pickle", blocks=len(tasks),
+        wall_ms=round((_time.perf_counter() - started) * 1e3, 3),
+    )
+    return results, buffer.events
 
 
 def _chunked(tasks: Sequence, chunk_size: int) -> Iterable[Sequence]:
@@ -438,11 +469,19 @@ def _decode_chunk_shm(payload):
     """Shared-memory worker entry point: decode a chunk of block specs.
 
     ``payload`` is (input arena name, output arena name, kernel,
-    blocks) where each block is (out_offset, width, height, orientation,
-    num_bitplanes, num_passes, segments).  Coefficients go straight into
-    the output arena; only (pid, per-block op counts) travel back.
+    blocks, want_events) where each block is (out_offset, width, height,
+    orientation, num_bitplanes, num_passes, segments).  Coefficients go
+    straight into the output arena; only (pid, per-block op counts, and
+    — when the parent requested logging — the worker-side event dicts)
+    travel back.
     """
-    in_name, out_name, kernel, blocks = payload
+    in_name, out_name, kernel, blocks, want_events = payload
+    events = None
+    started = None
+    if want_events:
+        import time as _time
+
+        started = _time.perf_counter()
     # Attaching re-registers the segments with the resource tracker, but
     # pool children share the parent's tracker (its fd travels in the
     # spawn/fork preparation data), where the duplicate is a set add —
@@ -485,7 +524,17 @@ def _decode_chunk_shm(payload):
     dst.close()
     if error is not None:
         raise RuntimeError(f"shared-memory chunk decode failed: {error}")
-    return os.getpid(), op_counts
+    if want_events:
+        import time as _time
+
+        buffer = telemetry.capture_events()
+        buffer.emit(
+            "parallel.chunk_decoded",
+            pid=os.getpid(), transport="shm", blocks=len(blocks),
+            wall_ms=round((_time.perf_counter() - started) * 1e3, 3),
+        )
+        events = buffer.events
+    return os.getpid(), op_counts, events
 
 
 def _close_pool() -> None:
@@ -536,38 +585,87 @@ def decode_blocks(
     if pool is None:
         _warn_degraded(options.requested_workers, 1, "worker pool unavailable")
         return _decode_tasks_sequential(tasks, kernel)
-    payloads = [(kernel, chunk) for chunk in _chunked(tasks, options.chunk_size)]
+    observing = (
+        telemetry.log_enabled() or telemetry.flight_recorder() is not None
+    )
+    flight = telemetry.flight_recorder()
+    fanout = telemetry.new_span_id() if observing else None
+    payloads = [
+        (kernel, chunk, observing)
+        for chunk in _chunked(tasks, options.chunk_size)
+    ]
     if telemetry.enabled():
         telemetry.count(
             "jpeg2000.parallel.bytes_pickled",
             sum(len(task[0]) for task in tasks),
         )
+    if flight is not None:
+        flight.set_context("schedule", options.schedule_info())
+        flight.reset_chunks()
+    if observing:
+        telemetry.log_event(
+            "parallel.fanout", span=fanout, transport="pickle",
+            chunks=len(payloads), blocks=len(tasks),
+            workers=options.effective_workers,
+        )
     futures = [pool.submit(_decode_chunk, payload) for payload in payloads]
+    if flight is not None:
+        for index in range(len(futures)):
+            flight.chunk_state(index, "submitted")
     try:
-        chunk_results = [future.result() for future in futures]
+        outcomes = [future.result() for future in futures]
     except BrokenProcessPool:
         _close_pool()
         telemetry.count("jpeg2000.parallel.broken_pools")
-        chunk_results = []
+        if observing:
+            telemetry.log_event(
+                "parallel.pool_broken", span=fanout, transport="pickle"
+            )
+        outcomes = []
         resumed = redecoded = 0
-        for future, (chunk_kernel, chunk) in zip(futures, payloads):
-            result = None
+        for index, (future, payload) in enumerate(zip(futures, payloads)):
+            chunk_kernel, chunk, _ = payload
+            outcome = None
             if future.done() and not future.cancelled():
                 try:
-                    result = future.result()
+                    outcome = future.result()
                 except BaseException:
-                    result = None
-            if result is None:
-                result = _decode_tasks_sequential(chunk, chunk_kernel)
+                    outcome = None
+            if outcome is None:
+                outcome = (_decode_tasks_sequential(chunk, chunk_kernel), None)
                 redecoded += 1
+                if flight is not None:
+                    flight.chunk_state(index, "redecoded")
+                if observing:
+                    telemetry.log_event(
+                        "parallel.chunk_redecoded", span=fanout,
+                        chunk=index, blocks=len(chunk),
+                    )
             else:
                 resumed += 1
-            chunk_results.append(result)
+                if flight is not None:
+                    flight.chunk_state(index, "resumed")
+            outcomes.append(outcome)
         telemetry.count("jpeg2000.parallel.chunks_resumed", resumed)
         telemetry.count("jpeg2000.parallel.chunks_redecoded", redecoded)
+        if observing:
+            telemetry.log_event(
+                "parallel.resumed", span=fanout,
+                resumed=resumed, redecoded=redecoded,
+            )
+        if flight is not None:
+            flight.dump("broken-pool")
     results: list = []
-    for chunk in chunk_results:
-        results.extend(chunk)
+    for index, (chunk_results, events) in enumerate(outcomes):
+        if flight is not None and flight.chunks.get(index) == "submitted":
+            flight.chunk_state(index, "done")
+        telemetry.merge_worker_events(events)
+        results.extend(chunk_results)
+    if observing:
+        telemetry.log_event(
+            "parallel.gathered", span=fanout, chunks=len(outcomes),
+            blocks=len(tasks),
+        )
     return results
 
 
@@ -624,6 +722,18 @@ def _decode_specs_shm(sources, specs, sizes, offsets, options):
         telemetry.count(
             "jpeg2000.parallel.bytes_shared", total_in + total_out * 4
         )
+        observing = (
+            telemetry.log_enabled() or telemetry.flight_recorder() is not None
+        )
+        flight = telemetry.flight_recorder()
+        fanout = telemetry.new_span_id() if observing else None
+        if flight is not None:
+            flight.set_context("schedule", options.schedule_info())
+            flight.set_context("arena", {
+                "input": {"name": in_arena.name, "bytes": total_in},
+                "output": {"name": out_arena.name, "bytes": total_out * 4},
+            })
+            flight.reset_chunks()
         costs = [spec.cost for _, spec in specs]
         chunks = plan_chunks(costs, workers, options.chunk_size)
         payloads = []
@@ -638,25 +748,38 @@ def _decode_specs_shm(sources, specs, sizes, offsets, options):
                     placed.orientation, placed.num_bitplanes,
                     placed.num_passes, placed.segments,
                 ))
-            payloads.append(
-                (in_arena.name, out_arena.name, options.kernel, tuple(blocks))
-            )
+            payloads.append((
+                in_arena.name, out_arena.name, options.kernel,
+                tuple(blocks), observing,
+            ))
         if telemetry.enabled():
             telemetry.count(
                 "jpeg2000.parallel.bytes_pickled",
                 sum(len(pickle.dumps(payload)) for payload in payloads),
             )
+        if observing:
+            telemetry.log_event(
+                "parallel.fanout", span=fanout, transport="shm",
+                chunks=len(payloads), blocks=len(specs), workers=workers,
+                bytes_shared=total_in + total_out * 4,
+            )
         with telemetry.software_span(
             "shm", "fanout", "parallel", chunks=len(payloads), workers=workers
         ):
             futures = [pool.submit(_decode_chunk_shm, payload) for payload in payloads]
+            if flight is not None:
+                for index in range(len(futures)):
+                    flight.chunk_state(index, "submitted")
             ops_all: list = [0] * len(specs)
             worker_blocks: dict = {}
             failed: list = []
             broken = False
             try:
-                for future, chunk in zip(futures, chunks):
-                    pid, op_counts = future.result()
+                for index, (future, chunk) in enumerate(zip(futures, chunks)):
+                    pid, op_counts, events = future.result()
+                    telemetry.merge_worker_events(events)
+                    if flight is not None:
+                        flight.chunk_state(index, "done")
                     worker_blocks[pid] = worker_blocks.get(pid, 0) + len(chunk)
                     for block, ops in zip(chunk, op_counts):
                         ops_all[block] = ops
@@ -665,8 +788,12 @@ def _decode_specs_shm(sources, specs, sizes, offsets, options):
         if broken:
             _close_pool()
             telemetry.count("jpeg2000.parallel.broken_pools")
+            if observing:
+                telemetry.log_event(
+                    "parallel.pool_broken", span=fanout, transport="shm"
+                )
             resumed = 0
-            for future, chunk in zip(futures, chunks):
+            for index, (future, chunk) in enumerate(zip(futures, chunks)):
                 result = None
                 if future.done() and not future.cancelled():
                     try:
@@ -675,14 +802,31 @@ def _decode_specs_shm(sources, specs, sizes, offsets, options):
                         result = None
                 if result is None:
                     failed.append(chunk)
+                    if flight is not None:
+                        flight.chunk_state(index, "lost")
+                    if observing:
+                        telemetry.log_event(
+                            "parallel.chunk_redecoded", span=fanout,
+                            chunk=index, blocks=len(chunk),
+                        )
                 else:
-                    pid, op_counts = result
+                    pid, op_counts, events = result
+                    telemetry.merge_worker_events(events)
+                    if flight is not None:
+                        flight.chunk_state(index, "resumed")
                     worker_blocks[pid] = worker_blocks.get(pid, 0) + len(chunk)
                     for block, ops in zip(chunk, op_counts):
                         ops_all[block] = ops
                     resumed += 1
             telemetry.count("jpeg2000.parallel.chunks_resumed", resumed)
             telemetry.count("jpeg2000.parallel.chunks_redecoded", len(failed))
+            if observing:
+                telemetry.log_event(
+                    "parallel.resumed", span=fanout,
+                    resumed=resumed, redecoded=len(failed),
+                )
+            if flight is not None:
+                flight.dump("broken-pool")
         with telemetry.software_span("shm", "gather", "parallel"):
             flat = np.frombuffer(
                 out_arena.buf, dtype=np.int32, count=total_out
@@ -760,6 +904,24 @@ class SpecStream:
         self._ops: list = [0] * len(sizes)
         self._broken = False
         self._blocks_by_pid: dict = {}
+        self._observing = (
+            telemetry.log_enabled() or telemetry.flight_recorder() is not None
+        )
+        flight = telemetry.flight_recorder()
+        if flight is not None:
+            flight.set_context("schedule", options.schedule_info())
+            flight.set_context("arena", {
+                "input": {"name": self._in_arena.name, "bytes": total_in},
+                "output": {"name": self._out_arena.name,
+                           "bytes": total_out * 4},
+            })
+            flight.reset_chunks()
+        if self._observing:
+            telemetry.log_event(
+                "parallel.stream_open", transport="shm",
+                tiles=len(self._sources), blocks=len(sizes),
+                bytes_shared=total_in + total_out * 4,
+            )
 
     def submit_tile(self, source_index: int, specs: Sequence[BlockSpec],
                     first: int) -> bool:
@@ -772,6 +934,12 @@ class SpecStream:
         costs = [spec.cost for spec in specs]
         chunks = plan_chunks(costs, options.effective_workers, options.chunk_size)
         futures = []
+        flight = telemetry.flight_recorder()
+        if self._observing:
+            telemetry.log_event(
+                "parallel.tile_submitted", transport="shm",
+                tile=source_index, chunks=len(chunks), blocks=len(specs),
+            )
         with telemetry.software_span(
             "shm", "submit", "parallel", tile=source_index, chunks=len(chunks)
         ):
@@ -792,7 +960,7 @@ class SpecStream:
                     ))
                 payload = (
                     self._in_arena.name, self._out_arena.name,
-                    options.kernel, tuple(blocks),
+                    options.kernel, tuple(blocks), self._observing,
                 )
                 if telemetry.enabled():
                     telemetry.count(
@@ -806,6 +974,11 @@ class SpecStream:
                 except (BrokenProcessPool, RuntimeError):
                     self._mark_broken()
                     break
+                if flight is not None:
+                    flight.chunk_state(
+                        f"tile{source_index}/chunk{len(futures) - 1}",
+                        "submitted",
+                    )
         self._tiles[source_index] = (
             futures,
             [[first + local for local in chunk] for chunk in chunks],
@@ -818,12 +991,18 @@ class SpecStream:
         self._broken = True
         _close_pool()
         telemetry.count("jpeg2000.parallel.broken_pools")
+        if self._observing:
+            telemetry.log_event("parallel.pool_broken", transport="shm")
+        flight = telemetry.flight_recorder()
+        if flight is not None:
+            flight.dump("broken-pool")
 
     def drain_tile(self, source_index: int):
         """Wait for one tile's chunks; returns (flat, offsets, ops) with
         offsets local to the tile (``scatter_entropy(..., first=0)``)."""
         futures, chunk_ids, specs, first = self._tiles.pop(source_index)
         failed: list = []
+        flight = telemetry.flight_recorder()
         with telemetry.software_span(
             "shm", "drain", "parallel", tile=source_index, chunks=len(futures)
         ):
@@ -847,8 +1026,18 @@ class SpecStream:
                         self._mark_broken()
                 if result is None:
                     failed.append(ids)
+                    if flight is not None:
+                        flight.chunk_state(
+                            f"tile{source_index}/chunk{index}", "lost"
+                        )
                 else:
-                    pid, op_counts = result
+                    pid, op_counts, events = result
+                    telemetry.merge_worker_events(events)
+                    if flight is not None:
+                        flight.chunk_state(
+                            f"tile{source_index}/chunk{index}",
+                            "resumed" if self._broken else "done",
+                        )
                     self._blocks_by_pid[pid] = (
                         self._blocks_by_pid.get(pid, 0) + len(ids)
                     )
@@ -865,6 +1054,12 @@ class SpecStream:
             telemetry.count("jpeg2000.parallel.chunks_resumed",
                             len(chunk_ids) - len(failed))
             telemetry.count("jpeg2000.parallel.chunks_redecoded", len(failed))
+            if self._observing:
+                telemetry.log_event(
+                    "parallel.resumed", transport="shm", tile=source_index,
+                    resumed=len(chunk_ids) - len(failed),
+                    redecoded=len(failed),
+                )
             source = self._sources[source_index]
             single = (
                 KERNEL_REFERENCE

@@ -233,6 +233,15 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         limit_fs = until.femtoseconds if until is not None else None
+        observing = (
+            _telemetry.log_enabled()
+            or _telemetry.flight_recorder() is not None
+        )
+        if observing:
+            _telemetry.log_event(
+                "kernel.run", processes=len(self.processes),
+                from_fs=self._now_fs, until_fs=limit_fs,
+            )
         try:
             while True:
                 self._evaluate_and_update()
@@ -246,8 +255,20 @@ class Simulator:
                     break
                 self._now_fs = next_at
                 self._fire_due_timed()
+        except BaseException as error:
+            if observing:
+                _telemetry.log_event(
+                    "kernel.failed", error=type(error).__name__,
+                    now_fs=self._now_fs,
+                )
+            raise
         finally:
             self._running = False
+        if observing:
+            _telemetry.log_event(
+                "kernel.quiescent", now_fs=self._now_fs,
+                deltas=self.delta_count,
+            )
         return self.now
 
     def run_for(self, duration: SimTime) -> SimTime:

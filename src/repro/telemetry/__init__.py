@@ -38,7 +38,10 @@ from .export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from .flight import FlightRecorder
+from .log import EventLog, capture_events, new_run_id, new_span_id
 from .metrics import DEFAULT_BUCKETS_FS, Histogram, MetricsRegistry
+from .prometheus import render_metrics, render_recorder
 from .spans import Span, TelemetryRecorder
 
 #: The active recorder — ``None`` means telemetry is disabled.  Hot paths
@@ -49,6 +52,16 @@ _recorder: Optional[TelemetryRecorder] = None
 #: Module-level enabled flag, kept strictly in sync with ``_recorder``.
 #: The cheapest possible short-circuit for per-operation counter sites.
 _enabled = False
+
+#: The active structured event log (``None`` = logging disabled) and its
+#: enabled flag — the same short-circuit discipline as the recorder.
+_log: Optional[EventLog] = None
+_log_enabled = False
+
+#: The armed flight recorder, or ``None``.  When armed, every
+#: ``log_event`` also lands in its ring buffer (even with the event log
+#: itself disabled), so crash reports have history to show.
+_flight: Optional[FlightRecorder] = None
 
 
 def install(recorder: Optional[TelemetryRecorder] = None) -> TelemetryRecorder:
@@ -85,6 +98,103 @@ def count(name: str, amount: int = 1) -> None:
         _recorder.metrics.count(name, amount)
 
 
+# -- structured logging -------------------------------------------------------
+
+
+def install_log(log: Optional[EventLog] = None) -> EventLog:
+    """Activate structured logging; returns the active event log."""
+    global _log, _log_enabled
+    if log is None:
+        log = EventLog()
+    _log = log
+    _log_enabled = True
+    return log
+
+
+def uninstall_log() -> Optional[EventLog]:
+    """Deactivate structured logging; returns the log that was active."""
+    global _log, _log_enabled
+    log = _log
+    _log = None
+    _log_enabled = False
+    return log
+
+
+def event_log() -> Optional[EventLog]:
+    """The active event log, or ``None`` when logging is disabled."""
+    return _log
+
+
+def log_enabled() -> bool:
+    return _log_enabled
+
+
+def run_id() -> Optional[str]:
+    """The active run id: the event log's if logging is on, else the
+    flight recorder's, else ``None``."""
+    if _log is not None:
+        return _log.run_id
+    if _flight is not None:
+        return _flight.run_id
+    return None
+
+
+def log_event(event: str, **fields) -> None:
+    """Emit one structured event (no-op when logging and flight are off).
+
+    The disabled cost is two module-attribute reads and branches; the
+    event dict is only built once something is listening.
+    """
+    if _log_enabled:
+        record = _log.emit(event, **fields)
+        if _flight is not None:
+            _flight.record(record)
+    elif _flight is not None:
+        _flight.note(event, **fields)
+
+
+def merge_worker_events(events) -> None:
+    """Fold events captured in a worker process into the active sinks.
+
+    Merged into the event log (re-stamped with this run's id and
+    sequence numbers) when logging is on, and into the flight recorder's
+    ring buffer when armed.  Call in a deterministic order (chunk order,
+    not completion order) so the merged stream is reproducible.
+    """
+    if not events:
+        return
+    if _log is not None:
+        _log.merge(events)
+    if _flight is not None:
+        for event in events:
+            _flight.record(event)
+
+
+# -- flight recorder ----------------------------------------------------------
+
+
+def install_flight(recorder: Optional[FlightRecorder] = None) -> FlightRecorder:
+    """Arm the flight recorder; returns the armed instance."""
+    global _flight
+    if recorder is None:
+        recorder = FlightRecorder()
+    _flight = recorder
+    return recorder
+
+
+def uninstall_flight() -> Optional[FlightRecorder]:
+    """Disarm the flight recorder; returns the one that was armed."""
+    global _flight
+    recorder = _flight
+    _flight = None
+    return recorder
+
+
+def flight_recorder() -> Optional[FlightRecorder]:
+    """The armed flight recorder, or ``None``."""
+    return _flight
+
+
 class _NullSpan:
     """Shared do-nothing context manager for disabled software spans."""
 
@@ -111,22 +221,48 @@ def software_span(category: str, name: str, track: str = "sw", **attrs):
 if os.environ.get("REPRO_TELEMETRY", "0") == "1":  # pragma: no cover
     install()
 
+if os.environ.get("REPRO_LOG", "0") == "1":  # pragma: no cover
+    install_log()
+
+if os.environ.get("REPRO_FLIGHT", "0") == "1":  # pragma: no cover
+    from .flight import install_excepthook as _install_excepthook
+
+    install_flight()
+    _install_excepthook()
+
 
 __all__ = [
     "DEFAULT_BUCKETS_FS",
+    "EventLog",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "Span",
     "TelemetryRecorder",
     "active",
     "aggregate",
+    "capture_events",
     "count",
     "enabled",
+    "event_log",
     "flame_summary",
+    "flight_recorder",
     "install",
+    "install_flight",
+    "install_log",
+    "log_enabled",
+    "log_event",
+    "merge_worker_events",
+    "new_run_id",
+    "new_span_id",
+    "render_metrics",
+    "render_recorder",
+    "run_id",
     "software_span",
     "stage_shares",
     "to_chrome_trace",
     "uninstall",
+    "uninstall_flight",
+    "uninstall_log",
     "write_chrome_trace",
 ]

@@ -134,4 +134,18 @@ def flame_summary(recorder: TelemetryRecorder, top: int = 30) -> str:
             f"{entry['count']:>8} {entry['total_fs'] / 1e12:>12.4f} "
             f"{100.0 * entry['total_fs'] / grand:>5.1f}%"
         )
+    histograms = recorder.metrics.histograms()
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<48} {'count':>8} {'mean':>10} "
+            f"{'p50':>10} {'p95':>10} {'p99':>10}"
+        )
+        for name, hist in sorted(histograms.items()):
+            quantiles = hist.percentiles()
+            lines.append(
+                f"{name:<48} {hist.count:>8} {hist.mean:>10.3g} "
+                f"{quantiles['p50']:>10.3g} {quantiles['p95']:>10.3g} "
+                f"{quantiles['p99']:>10.3g}"
+            )
     return "\n".join(lines) + "\n"

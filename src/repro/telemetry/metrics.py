@@ -58,11 +58,48 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        The true value is only known to bucket resolution; within the
+        bucket holding the requested rank the estimate interpolates
+        linearly between the bucket's lower and upper bounds.  Ranks
+        that land in the overflow bucket clamp to the largest finite
+        bound — there is no upper edge to interpolate against.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0
+        for bound, count in zip(self.bounds, self.counts):
+            if count:
+                if cumulative + count >= rank:
+                    within = (rank - cumulative) / count
+                    return lower + (bound - lower) * within
+                cumulative += count
+            lower = bound
+        return float(self.bounds[-1])
+
+    def percentiles(self) -> dict:
+        """The standard latency trio: p50 / p95 / p99 estimates."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
+            "percentiles": {
+                name: round(value, 3)
+                for name, value in self.percentiles().items()
+            },
             "buckets": [
                 {"le": bound, "count": count}
                 for bound, count in zip(self.bounds, self.counts)
@@ -113,6 +150,10 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram(name)
         hist.observe(value)
+
+    def histograms(self) -> dict:
+        """All registered histograms, by name (read-only view copy)."""
+        return dict(self._histograms)
 
     # -- reporting ----------------------------------------------------------
 

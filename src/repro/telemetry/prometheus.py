@@ -1,0 +1,244 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+Renders counters, gauges, and fixed-bucket histograms in the Prometheus
+text exposition format (version 0.0.4) — the format every Prometheus
+server, ``promtool`` and half the monitoring ecosystem scrape.  The
+future decode-as-a-service job server gets ``/metrics`` for free by
+serving :func:`render_metrics` over the live registry; today the CLI
+exposes the same text through ``python -m repro profile <ver>
+--prometheus``.
+
+Registry names are dotted (``jpeg2000.parallel.broken_pools``) and may
+carry inline labels in curly braces (``...degraded_total{reason=clamped
+to os.cpu_count()}``) — the convention the instrumentation sites use
+because registry keys are flat strings.  The renderer:
+
+* normalises names to the Prometheus grammar
+  (``[a-zA-Z_:][a-zA-Z0-9_:]*``; dots become underscores) and prefixes a
+  namespace (default ``repro``),
+* splits inline labels out into real label pairs with correct escaping
+  (backslash, double quote, newline),
+* renders histograms as cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count``, with a terminal ``le="+Inf"`` bucket,
+* emits one ``# HELP``/``# TYPE`` header per metric family and groups
+  all samples of a family under it (required by the grammar).
+
+Simulated-time quantities keep their femtosecond units and say so in
+the name (``_fs`` suffix conventions are preserved from the registry);
+exposition does not rescale anything.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_LABELLED = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def normalise_name(name: str, namespace: str = "repro") -> str:
+    """A registry name as a valid, namespaced Prometheus metric name."""
+    candidate = _NAME_BAD_CHARS.sub("_", name)
+    if namespace:
+        candidate = f"{namespace}_{candidate}"
+    if not _NAME_OK.match(candidate):
+        candidate = f"_{candidate}"
+    return candidate
+
+
+def normalise_label_name(name: str) -> str:
+    """A label key as a valid Prometheus label name."""
+    candidate = _LABEL_BAD_CHARS.sub("_", name)
+    if not candidate or candidate[0].isdigit():
+        candidate = f"_{candidate}"
+    return candidate
+
+
+def escape_label_value(value: str) -> str:
+    """Label-value escaping per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def split_labels(name: str) -> tuple[str, dict]:
+    """Split an inline-labelled registry name into (base, labels).
+
+    ``a.b{reason=pool lost,phase=t1}`` -> (``a.b``,
+    ``{"reason": "pool lost", "phase": "t1"}``).  Names without braces
+    pass through with empty labels.
+    """
+    match = _LABELLED.match(name)
+    if match is None:
+        return name, {}
+    labels: dict = {}
+    body = match.group("labels")
+    for part in body.split(","):
+        if not part.strip():
+            continue
+        key, _, value = part.partition("=")
+        labels[key.strip()] = value.strip()
+    return match.group("base"), labels
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{normalise_label_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: a type, a help line, and its samples."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: list[str] = []
+
+    def add(self, suffix: str, labels: dict, value) -> None:
+        self.samples.append(
+            f"{self.name}{suffix}{_render_labels(labels)} {_format_value(value)}"
+        )
+
+    def render(self) -> str:
+        header = (
+            f"# HELP {self.name} {self.help}\n"
+            f"# TYPE {self.name} {self.kind}\n"
+        )
+        return header + "\n".join(self.samples) + "\n"
+
+
+def _family(families: dict, name: str, kind: str, source: str) -> _Family:
+    family = families.get(name)
+    if family is None:
+        family = families[name] = _Family(
+            name, kind, f"repro telemetry metric {source}"
+        )
+    elif family.kind != kind:
+        raise ValueError(
+            f"metric family {name!r} rendered as both "
+            f"{family.kind} and {kind}"
+        )
+    return family
+
+
+def render_metrics(
+    registry: MetricsRegistry,
+    namespace: str = "repro",
+    const_labels: Optional[dict] = None,
+) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    ``const_labels`` are attached to every sample — the hook for run- or
+    instance-scoped labels (``run_id``, design version) when several
+    registries are scraped side by side.
+    """
+    const = dict(const_labels or {})
+    families: dict[str, _Family] = {}
+    data = registry.as_dict()
+    for raw, value in data["counters"].items():
+        base, labels = split_labels(raw)
+        family = _family(
+            families, normalise_name(base, namespace), "counter", base
+        )
+        family.add("", {**const, **labels}, value)
+    for raw, value in data["gauges"].items():
+        base, labels = split_labels(raw)
+        family = _family(
+            families, normalise_name(base, namespace), "gauge", base
+        )
+        family.add("", {**const, **labels}, value)
+    for raw, hist in data["histograms"].items():
+        base, labels = split_labels(raw)
+        family = _family(
+            families, normalise_name(base, namespace), "histogram", base
+        )
+        labels = {**const, **labels}
+        cumulative = 0
+        for bucket in hist["buckets"]:
+            cumulative += bucket["count"]
+            family.add(
+                "_bucket", {**labels, "le": str(bucket["le"])}, cumulative
+            )
+        family.add("_bucket", {**labels, "le": "+Inf"}, hist["count"])
+        family.add("_sum", labels, hist["total"])
+        family.add("_count", labels, hist["count"])
+    return "".join(
+        families[name].render() for name in sorted(families)
+    )
+
+
+def render_recorder(recorder, namespace: str = "repro",
+                    const_labels: Optional[dict] = None) -> str:
+    """Exposition of a full :class:`TelemetryRecorder`.
+
+    Beyond the metrics registry, the recorder's span aggregates are
+    rendered as two counter families —
+    ``<ns>_span_busy_fs_total{category,name}`` (summed simulated
+    femtoseconds, so a per-channel ``bus`` sum equals that channel's
+    ``ChannelStats.busy_fs`` exactly) and
+    ``<ns>_span_count_total{category,name}``.  Design identity, when the
+    elaborator tagged one, becomes an ``info``-style gauge.
+    """
+    from .export import aggregate
+
+    const = dict(const_labels or {})
+    text = render_metrics(recorder.metrics, namespace, const_labels=const)
+    groups = aggregate(recorder)
+    if groups:
+        busy = _Family(
+            f"{namespace}_span_busy_fs_total", "counter",
+            "summed span duration in simulated femtoseconds",
+        )
+        count = _Family(
+            f"{namespace}_span_count_total", "counter",
+            "number of recorded spans",
+        )
+        for entry in groups.values():
+            labels = {
+                **const,
+                "category": entry["category"],
+                "name": entry["name"],
+            }
+            busy.add("", labels, entry["total_fs"])
+            count.add("", labels, entry["count"])
+        text += busy.render() + count.render()
+    if recorder.design is not None:
+        info = _Family(
+            f"{namespace}_design_info", "gauge",
+            "design identity of the recorded run (always 1)",
+        )
+        labels = {
+            **const,
+            **{
+                key: value
+                for key, value in recorder.design.items()
+                if value is not None
+            },
+        }
+        info.add("", labels, 1)
+        text += info.render()
+    return text

@@ -1,0 +1,5 @@
+"""Repository tooling that is not part of the reproduction itself.
+
+Currently one tool: the perf-regression sentinel
+(:mod:`repro.tools.sentinel`), surfaced as ``python -m repro sentinel``.
+"""

@@ -80,14 +80,16 @@ class TestCacheKey:
 
         ``experiments`` machinery is covered via EXTRA_FILES,
         ``reporting`` only renders tables from payloads (never cached),
-        and ``fossy`` joins for synthesis kinds — everything else must
-        be in DEFAULT_SUBSYSTEMS or edits there serve stale payloads.
+        ``tools`` only reads benchmark baselines and ledger records
+        (never executes experiments), and ``fossy`` joins for synthesis
+        kinds — everything else must be in DEFAULT_SUBSYSTEMS or edits
+        there serve stale payloads.
         """
         root = fp.package_root()
         runtime = {
             path.name for path in root.iterdir()
             if path.is_dir() and path.name not in
-            {"experiments", "reporting", "fossy", "__pycache__"}
+            {"experiments", "reporting", "fossy", "tools", "__pycache__"}
         }
         assert runtime <= set(fp.DEFAULT_SUBSYSTEMS)
 

@@ -150,3 +150,42 @@ class TestExperimentApi:
         warm = Runner(cache=ResultCache(tmp_path)).run([instrumented])[0]
         assert warm.cached
         assert warm.telemetry == rich.telemetry
+
+
+class TestRegistryScoping:
+    """Engine runs must not leak metrics into an ambient recorder."""
+
+    def test_simulation_run_leaves_ambient_registry_untouched(self, tmp_path):
+        from repro import telemetry
+        from repro.experiments import KIND_SIMULATE
+
+        request = RunRequest("sim:2:lossless", KIND_SIMULATE,
+                             {"version": "2", "lossless": True})
+        ambient = telemetry.install()
+        try:
+            ambient.metrics.count("test.sentinel", 3)
+            before = ambient.metrics.as_dict()
+            Runner(cache=ResultCache(tmp_path)).run([request])
+            assert telemetry.active() is ambient
+            assert ambient.metrics.as_dict() == before
+            warm = Runner(cache=ResultCache(tmp_path)).run([request])[0]
+            assert warm.cached
+            assert telemetry.active() is ambient
+            assert ambient.metrics.as_dict() == before
+        finally:
+            telemetry.uninstall()
+
+    def test_warm_sweep_leaves_ambient_registry_untouched(self, tmp_path):
+        from repro import telemetry
+
+        Runner(cache=ResultCache(tmp_path)).sweep(["table2", "loc"])
+        ambient = telemetry.install()
+        try:
+            before = ambient.metrics.as_dict()
+            runner = Runner(cache=ResultCache(tmp_path))
+            runner.sweep(["table2", "loc"])
+            assert runner.last_stats["executed"] == 0  # fully warm
+            assert telemetry.active() is ambient
+            assert ambient.metrics.as_dict() == before
+        finally:
+            telemetry.uninstall()

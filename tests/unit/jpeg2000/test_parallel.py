@@ -386,3 +386,130 @@ class TestBrokenPoolResume:
         assert (
             counters.counter("jpeg2000.parallel.chunks_redecoded") < len(tasks)
         )
+
+
+class TestParallelObservability:
+    """Worker events ride back with results and merge deterministically."""
+
+    def test_pickle_transport_carries_worker_events(self):
+        tasks, _ = zip(*(_encode_block(seed) for seed in range(6)))
+        log = telemetry.install_log()
+        try:
+            decode_blocks(
+                list(tasks),
+                DecodeOptions(workers=2, chunk_size=2, oversubscribe=True),
+            )
+        finally:
+            telemetry.uninstall_log()
+            shutdown_pool()
+        (fanout,) = log.select("parallel.fanout")
+        assert fanout["transport"] == "pickle"
+        assert fanout["chunks"] == 3
+        chunks = log.select("parallel.chunk_decoded")
+        assert len(chunks) == 3
+        for record in chunks:
+            assert record["transport"] == "pickle"
+            assert record["pid"] > 0
+        assert log.select("parallel.gathered")
+        # Merged events are one coherent stream: one run id, unique
+        # strictly-increasing sequence numbers.
+        seqs = [record["seq"] for record in log.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert {record["run_id"] for record in log.events} == {log.run_id}
+
+    def test_shm_transport_carries_worker_events(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        source, specs, _ = _spec_workload(range(6))
+        log = telemetry.install_log()
+        try:
+            decode_blocks_spec(
+                [source], specs,
+                DecodeOptions(workers=2, chunk_size=2, oversubscribe=True),
+            )
+        finally:
+            telemetry.uninstall_log()
+            shutdown_pool()
+        (fanout,) = log.select("parallel.fanout")
+        assert fanout["transport"] == "shm"
+        chunks = log.select("parallel.chunk_decoded")
+        assert chunks and all(r["transport"] == "shm" for r in chunks)
+        assert all(r["pid"] > 0 for r in chunks)
+
+    def test_workers_send_no_events_when_log_disabled(self):
+        tasks, _ = zip(*(_encode_block(seed) for seed in range(4)))
+        kernel = DecodeOptions().kernel
+        results, events = parallel._decode_chunk((kernel, list(tasks), False))
+        assert events is None
+        assert len(results) == len(tasks)
+
+    def test_degraded_counter_is_reason_labelled(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        parallel._degradations_warned.clear()
+        tasks, _ = zip(*(_encode_block(seed) for seed in range(2)))
+        recorder = telemetry.install()
+        log = telemetry.install_log()
+        try:
+            with pytest.warns(ParallelDegradedWarning):
+                decode_blocks(list(tasks), DecodeOptions(workers=4))
+        finally:
+            telemetry.uninstall_log()
+            telemetry.uninstall()
+        assert recorder.metrics.counter(
+            "jpeg2000.parallel.degraded_total{reason=clamped to os.cpu_count()}"
+        ) == 1
+        (event,) = log.select("parallel.degraded")
+        assert event["reason"] == "clamped to os.cpu_count()"
+        assert event["requested"] == 4
+        assert event["effective"] == 1
+
+
+class TestCrashReport:
+    def test_worker_crash_dumps_flight_report(self, tmp_path, monkeypatch):
+        """Acceptance: a worker crash mid-decode produces a crash report
+        carrying the pool-broken event and the per-chunk fate map."""
+        import json
+
+        from repro.telemetry.flight import FlightRecorder
+
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only test
+            pytest.skip("fork start method unavailable")
+        tasks, expected = zip(*(_encode_block(seed) for seed in range(6)))
+        marker = str(tmp_path / "chunk-done")
+        real = parallel._decode_tasks_sequential
+        parent_pid = os.getpid()
+        bomb_data = tasks[-1][0]
+
+        def bomb(chunk, kernel):
+            return _exploding_sequential(
+                chunk, kernel, parent_pid=parent_pid, bomb_data=bomb_data,
+                marker=marker, real=real,
+            )
+
+        shutdown_pool()  # the bomb must be in place before the fork
+        monkeypatch.setattr(parallel, "_decode_tasks_sequential", bomb)
+        telemetry.install_log()
+        telemetry.install_flight(FlightRecorder(crash_dir=tmp_path))
+        try:
+            results = decode_blocks(
+                list(tasks),
+                DecodeOptions(
+                    workers=2, chunk_size=1, oversubscribe=True,
+                    start_method="fork",
+                ),
+            )
+        finally:
+            telemetry.uninstall_flight()
+            telemetry.uninstall_log()
+            shutdown_pool()
+        for (values, _), coeffs in zip(results, expected):
+            assert values.tolist() == coeffs
+        (report_path,) = tmp_path.glob("crash-*.json")
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["reason"] == "broken-pool"
+        events = [record["event"] for record in report["events"]]
+        assert "parallel.pool_broken" in events
+        assert "parallel.fanout" in events
+        fates = set(report["chunks"].values())
+        assert "redecoded" in fates  # the lost chunk was re-decoded
+        assert fates <= {"submitted", "done", "resumed", "redecoded"}
+        assert report["context"]["schedule"]["effective_workers"] == 2

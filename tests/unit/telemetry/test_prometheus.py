@@ -1,0 +1,208 @@
+"""Prometheus exposition: grammar conformance and value fidelity.
+
+The parser below implements the text exposition format (0.0.4) grammar
+the way a scraper would read it: ``# TYPE`` before the family's samples,
+valid metric/label names, escaped label values, float-parseable sample
+values.  Every rendering test round-trips through it.
+"""
+
+import re
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry, TelemetryRecorder
+from repro.telemetry.prometheus import (
+    escape_label_value,
+    normalise_label_name,
+    normalise_name,
+    render_metrics,
+    render_recorder,
+    split_labels,
+)
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> dict:
+    """Validate *text* against the exposition grammar; returns families.
+
+    ``{family: {"type": ..., "help": ..., "samples": [(name, labels,
+    value), ...]}}`` — raises AssertionError on any grammar violation.
+    """
+    families: dict = {}
+    current = None
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert METRIC_NAME.match(name), name
+            assert name not in families, f"duplicate HELP for {name}"
+            families[name] = {"type": None, "help": help_text, "samples": []}
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, "TYPE must follow its HELP line"
+            assert kind in ("counter", "gauge", "histogram", "summary"), kind
+            assert families[name]["type"] is None, f"duplicate TYPE {name}"
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name = match.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family not in families and family.endswith(suffix):
+                family = family[: -len(suffix)]
+                break
+        assert family in families, f"sample {name} outside any family"
+        assert families[family]["type"] is not None, "samples before TYPE"
+        labels = {}
+        raw = match.group("labels")
+        if raw is not None:
+            consumed = ",".join(
+                f'{key}="{value}"' for key, value in LABEL_PAIR.findall(raw)
+            )
+            assert consumed == raw, f"malformed label block: {raw!r}"
+            for key, value in LABEL_PAIR.findall(raw):
+                assert LABEL_NAME.match(key), key
+                labels[key] = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+        value = float(match.group("value"))
+        families[family]["samples"].append((name, labels, value))
+    return families
+
+
+class TestNames:
+    def test_dots_become_underscores_with_namespace(self):
+        assert (
+            normalise_name("jpeg2000.parallel.broken_pools")
+            == "repro_jpeg2000_parallel_broken_pools"
+        )
+
+    def test_leading_digit_guarded(self):
+        assert METRIC_NAME.match(normalise_name("2fast", namespace=""))
+
+    def test_label_name_normalised(self):
+        assert normalise_label_name("my-label") == "my_label"
+        assert LABEL_NAME.match(normalise_label_name("0bad"))
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_split_labels(self):
+        base, labels = split_labels(
+            "x.y{reason=clamped to os.cpu_count(),phase=t1}"
+        )
+        assert base == "x.y"
+        assert labels == {"reason": "clamped to os.cpu_count()", "phase": "t1"}
+        assert split_labels("plain.name") == ("plain.name", {})
+
+
+class TestRenderMetrics:
+    def test_counters_and_gauges_conform(self):
+        registry = MetricsRegistry()
+        registry.count("jpeg2000.parallel.broken_pools", 2)
+        registry.count('weird.counter{reason=has "quotes" and \\slash}', 1)
+        registry.gauge_set("kernel.now_fs", 1.5e12)
+        families = parse_exposition(render_metrics(registry))
+        broken = families["repro_jpeg2000_parallel_broken_pools"]
+        assert broken["type"] == "counter"
+        assert broken["samples"][0][2] == 2
+        weird = families["repro_weird_counter"]
+        (_, labels, value) = weird["samples"][0]
+        assert labels == {"reason": 'has "quotes" and \\slash'}
+        now = families["repro_kernel_now_fs"]
+        assert now["type"] == "gauge"
+        assert now["samples"][0][2] == 1.5e12
+
+    def test_histogram_buckets_cumulative_and_monotonic(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wait_fs", bounds=(10, 100, 1000))
+        for value in (5, 50, 50, 500, 5000):
+            hist.observe(value)
+        families = parse_exposition(render_metrics(registry))
+        family = families["repro_wait_fs"]
+        assert family["type"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in family["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert [le for le, _ in buckets] == ["10", "100", "1000", "+Inf"]
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 5  # +Inf sees every observation
+        total = [v for n, _, v in family["samples"] if n.endswith("_sum")]
+        count = [v for n, _, v in family["samples"] if n.endswith("_count")]
+        assert total == [5605]
+        assert count == [5]
+
+    def test_const_labels_on_every_sample(self):
+        registry = MetricsRegistry()
+        registry.count("a", 1)
+        registry.gauge_set("b", 2)
+        families = parse_exposition(
+            render_metrics(registry, const_labels={"run_id": "abc"})
+        )
+        for family in families.values():
+            for _, labels, _ in family["samples"]:
+                assert labels["run_id"] == "abc"
+
+    def test_empty_registry_renders_empty(self):
+        assert render_metrics(MetricsRegistry()) == ""
+
+
+class TestRenderRecorder:
+    def test_span_aggregates_and_design_info(self):
+        recorder = TelemetryRecorder()
+        recorder.complete("bus", "opb", "hw", 0, 1000)
+        recorder.complete("bus", "opb", "hw", 2000, 3500)
+        recorder.design = {"version": "7a", "label": "par HW/SW"}
+        families = parse_exposition(render_recorder(recorder))
+        busy = families["repro_span_busy_fs_total"]
+        assert busy["type"] == "counter"
+        (_, labels, value) = busy["samples"][0]
+        assert labels == {"category": "bus", "name": "opb"}
+        assert value == 2500
+        count = families["repro_span_count_total"]
+        assert count["samples"][0][2] == 2
+        info = families["repro_design_info"]
+        assert info["samples"][0][1]["version"] == "7a"
+        assert info["samples"][0][2] == 1
+
+    def test_table1_run_busy_fs_equals_channel_stats(self):
+        from repro.casestudy.explorer import ALL_VERSIONS
+        from repro.casestudy.workload import paper_workload
+
+        recorder = telemetry.install()
+        try:
+            model = ALL_VERSIONS["7a"](paper_workload(True))
+            model.run()
+        finally:
+            telemetry.uninstall()
+        stats = model.detail_stats()
+        families = parse_exposition(render_recorder(recorder))
+        busy = {
+            labels["name"]: value
+            for _, labels, value in families["repro_span_busy_fs_total"]["samples"]
+            if labels["category"] == "bus"
+        }
+        for channel in ("opb", "ddr"):
+            assert busy[channel] == stats[channel].busy_fs

@@ -154,6 +154,27 @@ class TestChromeTraceExport:
         loaded = json.loads(path.read_text())
         assert isinstance(loaded["traceEvents"], list)
 
+    def test_empty_recorder_round_trips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(TelemetryRecorder(), path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["displayTimeUnit"] == "ms"
+        spans = [e for e in loaded["traceEvents"] if e.get("ph") == "X"]
+        assert spans == []
+
+    def test_metadata_only_recorder_round_trips(self, tmp_path):
+        # Metrics but no spans: the trace still loads and the metrics
+        # payload survives intact.
+        recorder = TelemetryRecorder()
+        recorder.metrics.count("kernel.delta_cycles", 7)
+        recorder.metrics.gauge_set("kernel.now_fs", 123.0)
+        path = tmp_path / "meta.json"
+        write_chrome_trace(recorder, path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert all(e["ph"] != "X" for e in loaded["traceEvents"])
+        assert loaded["repro_metrics"]["counters"]["kernel.delta_cycles"] == 7
+        assert loaded["repro_metrics"]["gauges"]["kernel.now_fs"] == 123.0
+
 
 class TestAggregation:
     def test_aggregate_groups_by_category_and_name(self):

@@ -216,3 +216,147 @@ class TestExperimentCli:
         diff = capsys.readouterr().out
         assert "table2_synthesis.txt" in diff
         assert "IDWTXX" in diff  # the unified diff body is printed
+
+
+class TestObservabilityCli:
+    """Ledger, sentinel, events, and Prometheus subcommand surfaces."""
+
+    def test_run_appends_ledger_record(self, tmp_path, monkeypatch, capsys):
+        from repro.telemetry import ledger
+
+        path = tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["run", "2"]) == 0
+        capsys.readouterr()
+        (record,) = ledger.read_ledger(path)
+        assert record["kind"] == "simulate"
+        assert record["label"] == "2/lossless"
+        assert record["wall_seconds"] > 0
+        assert record["spec_hash"]
+
+    def test_ledger_disabled_by_env(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert main(["run", "2"]) == 0
+        capsys.readouterr()
+        assert not path.exists()
+
+    def test_events_flag_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        assert main(["run", "2", "--events", str(events_path)]) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        names = [record["event"] for record in records]
+        assert "kernel.run" in names
+        assert "kernel.quiescent" in names
+        assert len({record["run_id"] for record in records}) == 1
+
+    def test_events_flag_captures_decode_pipeline(self, tmp_path, capsys):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        assert main(["profile", "decode", "--size", "64",
+                     "--events", str(events_path)]) == 0
+        capsys.readouterr()
+        names = [
+            json.loads(line)["event"]
+            for line in events_path.read_text().splitlines()
+        ]
+        assert "decode.start" in names
+        assert "decode.done" in names
+
+    def test_ledger_list_show_diff(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        path = tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["run", "2"]) == 0
+        assert main(["run", "2", "--lossy"]) == 0
+        capsys.readouterr()
+
+        assert main(["ledger", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "Run ledger (2 records)" in listing
+        assert "2/lossless" in listing and "2/lossy" in listing
+
+        assert main(["ledger", "show", "-1"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["label"] == "2/lossy"
+
+        assert main(["ledger", "diff", "0", "1"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["fingerprints_changed"] == []
+        assert diff["wall_ratio"] > 0
+
+    def test_ledger_list_empty(self, capsys):
+        assert main(["ledger", "list"]) == 0
+        assert "ledger is empty" in capsys.readouterr().out
+
+    def test_ledger_show_empty_rejected(self):
+        with pytest.raises(SystemExit, match="empty"):
+            main(["ledger", "show", "-1"])
+
+    def test_profile_sim_prometheus(self, capsys):
+        # 6b is a VTA-layer design: its exposition carries bus channels.
+        assert main(["profile", "6b", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_span_busy_fs_total counter" in out
+        assert 'category="bus"' in out
+        assert "# TYPE repro_design_info gauge" in out
+
+    def test_profile_decode_prometheus(self, capsys):
+        assert main(["profile", "decode", "--size", "64", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert "repro_" in out
+        # Exposition only: the human table must not be mixed in.
+        assert "telemetry summary" not in out
+
+    def test_sentinel_check_passes_on_committed_baselines(self, capsys):
+        assert main(["sentinel", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline: ok" in out
+        assert "sentinel: ok" in out
+
+    def test_sentinel_self_test_json(self, capsys):
+        import json
+
+        assert main(["sentinel", "--self-test", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        verdict = payload["checks"]["self_test"]
+        assert verdict["detected"] == verdict["injected"]
+        assert verdict["missed"] == []
+
+    def test_sentinel_fresh_file_detects_regression(self, capsys, tmp_path):
+        import json
+
+        from repro.tools import sentinel
+
+        fresh = sentinel.load_baselines()
+        victim = next(m for m in fresh if m.startswith("decode/"))
+        fresh[victim] *= 2.0
+        fresh_file = tmp_path / "fresh.json"
+        fresh_file.write_text(json.dumps(fresh), encoding="utf-8")
+        assert main(["sentinel", "--fresh", str(fresh_file)]) == 1
+        out = capsys.readouterr().out
+        assert f"REGRESSION {victim}" in out
+        assert "sentinel: failed" in out
+
+    def test_sentinel_ledger_drift(self, tmp_path, monkeypatch, capsys):
+        from repro.telemetry import ledger
+
+        path = tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        for wall in (1.0, 1.05, 0.95):
+            ledger.append_record(
+                ledger.make_record("decode", label="t", wall_seconds=wall)
+            )
+        assert main(["sentinel", "--ledger"]) == 0
+        assert "ledger: ok" in capsys.readouterr().out

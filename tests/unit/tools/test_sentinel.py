@@ -1,0 +1,171 @@
+"""The perf-regression sentinel: calibration, detection, ledger drift."""
+
+import json
+
+import pytest
+
+from repro.tools import sentinel
+
+
+BASELINE = {
+    "decode/lossless/fast-sequential": 3.0,
+    "decode/lossless/batched-sequential": 2.5,
+    "decode/lossy/fast-sequential": 2.8,
+    "decode/lossy/batched-sequential": 2.4,
+    "sim/6b/reference": 0.8,
+    "sim/6b/fast": 0.3,
+    "sim/7b/reference": 0.8,
+    "sim/7b/fast": 0.34,
+}
+
+
+class TestFlattening:
+    def test_flatten_decode(self):
+        payload = {
+            "modes": {
+                "lossless": {"seconds": {"fast-sequential": 3.32}},
+                "lossy": {"seconds": {"fast-sequential": 3.01}},
+            }
+        }
+        assert sentinel.flatten_decode(payload) == {
+            "decode/lossless/fast-sequential": 3.32,
+            "decode/lossy/fast-sequential": 3.01,
+        }
+
+    def test_flatten_sim(self):
+        payload = {
+            "benches": {"6a": {"seconds": {"reference": 3.27, "fast": 1.34}}}
+        }
+        assert sentinel.flatten_sim(payload) == {
+            "sim/6a/reference": 3.27,
+            "sim/6a/fast": 1.34,
+        }
+
+    def test_flatten_sweep(self):
+        payload = {"seconds": {"warm": 0.11, "cold-parallel": 4.52}}
+        assert sentinel.flatten_sweep(payload) == {
+            "sweep/warm": 0.11,
+            "sweep/cold-parallel": 4.52,
+        }
+
+    def test_load_baselines_from_committed_files(self):
+        flat = sentinel.load_baselines()
+        kinds = {sentinel.metric_kind(metric) for metric in flat}
+        assert {"decode", "sim", "sweep"} <= kinds
+        assert all(seconds > 0 for seconds in flat.values())
+
+    def test_load_baselines_skips_missing(self, tmp_path):
+        assert sentinel.load_baselines(tmp_path) == {}
+
+    def test_load_baselines_rejects_corrupt(self, tmp_path):
+        (tmp_path / "BENCH_sim.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            sentinel.load_baselines(tmp_path)
+
+
+class TestCompare:
+    def test_identical_timings_pass(self):
+        verdict = sentinel.compare(BASELINE, dict(BASELINE))
+        assert verdict["status"] == "ok"
+        assert not verdict["regressions"]
+        assert verdict["scales"]["decode"] == 1.0
+
+    def test_uniform_machine_slowdown_is_absorbed(self):
+        # A 3x slower machine (or a 3x larger workload) shifts every
+        # metric identically; the median calibration must absorb it.
+        fresh = {metric: value * 3.0 for metric, value in BASELINE.items()}
+        verdict = sentinel.compare(BASELINE, fresh)
+        assert verdict["status"] == "ok"
+        assert verdict["scales"]["decode"] == pytest.approx(3.0)
+
+    def test_single_metric_slowdown_is_detected(self):
+        fresh = dict(BASELINE)
+        fresh["decode/lossless/fast-sequential"] *= 2.0
+        verdict = sentinel.compare(BASELINE, fresh)
+        assert verdict["status"] == "regression"
+        assert verdict["regressions"] == ["decode/lossless/fast-sequential"]
+
+    def test_improvement_is_reported_not_gating(self):
+        fresh = dict(BASELINE)
+        fresh["sim/6b/fast"] *= 0.3
+        verdict = sentinel.compare(BASELINE, fresh)
+        assert verdict["status"] == "ok"
+        assert verdict["improvements"] == ["sim/6b/fast"]
+
+    def test_noise_floor_protects_tiny_timings(self):
+        baseline = {"sweep/warm": 0.01, "sweep/cold": 4.0, "sweep/mid": 1.0}
+        fresh = dict(baseline, **{"sweep/warm": 0.03})  # 3x but 20 ms
+        verdict = sentinel.compare(baseline, fresh)
+        assert verdict["status"] == "ok"
+
+    def test_disjoint_metrics_listed_not_gating(self):
+        verdict = sentinel.compare(
+            dict(BASELINE, **{"decode/only/base": 9.9}),
+            dict(BASELINE, **{"decode/only/fresh": 9.9}),
+        )
+        assert verdict["status"] == "ok"
+        assert set(verdict["missing"]) == {
+            "decode/only/base", "decode/only/fresh",
+        }
+
+
+class TestSelfTest:
+    def test_detects_injected_slowdown_on_committed_baselines(self):
+        baseline = sentinel.load_baselines()
+        verdict = sentinel.self_test(baseline)
+        assert verdict["status"] == "ok"
+        assert verdict["missed"] == []
+        assert verdict["injected"]  # at least one victim per kind
+
+    def test_inject_slowdown_picks_one_per_kind(self):
+        injected, victims = sentinel.inject_slowdown(BASELINE, factor=2.0)
+        kinds = [sentinel.metric_kind(metric) for metric in victims]
+        assert sorted(set(kinds)) == ["decode", "sim"]
+        for metric in victims:
+            assert injected[metric] == BASELINE[metric] * 2.0
+
+    def test_self_test_fails_when_comparator_is_blunted(self):
+        baseline = {"decode/a/x": 1.0, "decode/b/x": 1.0, "decode/c/x": 1.0}
+        # An absurd tolerance swallows the injected slowdown entirely.
+        verdict = sentinel.self_test(baseline, tolerance=10.0)
+        assert verdict["status"] == "failed"
+        assert verdict["missed"]
+
+
+class TestLedgerDrift:
+    def _record(self, kind, label, wall, **extra):
+        return {"kind": kind, "label": label, "wall_seconds": wall,
+                "run_id": "r" + str(wall), **extra}
+
+    def test_newest_vs_median_of_history(self):
+        records = [
+            self._record("decode", "512", 1.0),
+            self._record("decode", "512", 1.1),
+            self._record("decode", "512", 0.9),
+            self._record("decode", "512", 5.0),  # newest: regressed
+        ]
+        verdict = sentinel.ledger_drift(records)
+        assert verdict["status"] == "regression"
+        assert verdict["regressions"] == ["decode/512"]
+        assert verdict["metrics"]["decode/512"]["median"] == 1.0
+
+    def test_single_record_series_is_skipped(self):
+        verdict = sentinel.ledger_drift([self._record("sweep", "t1", 2.0)])
+        assert verdict["status"] == "ok"
+        assert verdict["skipped"] == ["sweep/t1"]
+
+    def test_degraded_newest_never_gates(self):
+        records = [
+            self._record("decode", "512", 1.0),
+            self._record("decode", "512", 9.0, degraded=True),
+        ]
+        verdict = sentinel.ledger_drift(records)
+        assert verdict["status"] == "ok"
+        assert verdict["skipped"] == ["decode/512"]
+
+    def test_stable_series_passes(self):
+        records = [
+            self._record("sim", "7a", wall)
+            for wall in (2.0, 2.1, 1.9, 2.05)
+        ]
+        assert sentinel.ledger_drift(records)["status"] == "ok"
