@@ -1,17 +1,21 @@
 """Design-space exploration driver: run versions, rebuild Table 1.
 
-``run_version`` executes any of the nine models; ``build_table1`` runs the
-whole matrix (both modes) and returns the reconstruction of the paper's
-Table 1, including derived columns (speed-up vs. version 1) and the shape
-relations the paper states in prose.
+``run_version`` executes any of the nine catalog models *or* an
+arbitrary :class:`~repro.design.spec.DesignSpec` (generated designs are
+first-class — they elaborate straight through
+:func:`repro.design.elaborate_design`); ``build_table1`` runs the whole
+matrix (both modes) and returns the reconstruction of the paper's
+Table 1, including derived columns (speed-up vs. version 1) and the
+shape relations the paper states in prose.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from ..design import catalog
+from ..design import catalog, elaborate_design
+from ..design.spec import DesignSpec
 from .versions import APPLICATION_VERSIONS, DecodingReport
 from .vta_versions import VTA_VERSIONS
 from .workload import Workload, functional_workload, paper_workload
@@ -27,18 +31,24 @@ ROW_LABELS = {name: catalog.get(name).label for name in catalog.names()}
 
 
 def run_version(
-    version: str,
+    version: Union[str, DesignSpec],
     lossless: bool,
     workload: Optional[Workload] = None,
     functional: bool = False,
 ) -> DecodingReport:
-    """Build and simulate one model version; returns its report."""
-    if version not in ALL_VERSIONS:
-        raise KeyError(f"unknown version {version!r}; pick one of {sorted(ALL_VERSIONS)}")
+    """Build and simulate one design; returns its report.
+
+    *version* is a catalog identifier (runs the registered model class)
+    or a :class:`DesignSpec` (validated and elaborated directly).
+    """
     if workload is None:
         workload = (
             functional_workload(lossless) if functional else paper_workload(lossless)
         )
+    if isinstance(version, DesignSpec):
+        return elaborate_design(version, workload).run()
+    if version not in ALL_VERSIONS:
+        raise KeyError(f"unknown version {version!r}; pick one of {sorted(ALL_VERSIONS)}")
     model = ALL_VERSIONS[version](workload)
     return model.run()
 
@@ -104,12 +114,16 @@ def build_table1(versions=None) -> Table1:
 
     *versions* goes through :func:`repro.design.catalog.select`, so any
     subset is validated and ordered canonically (unknown identifiers
-    raise ``ValueError`` naming the registered versions).
+    raise ``ValueError`` naming the registered versions); entries may
+    mix catalog identifiers with dynamic :class:`DesignSpec` instances,
+    which gain extra rows after the catalog ones.
     """
     rows = []
     for version in catalog.select(versions):
-        spec = catalog.get(version)
-        row = Table1Row(version=version, label=spec.label, layer=spec.mapping.layer)
+        spec = catalog.resolve(version)
+        row = Table1Row(
+            version=spec.name, label=spec.label, layer=spec.mapping.layer
+        )
         for lossless in (True, False):
             mode = "lossless" if lossless else "lossy"
             report = run_version(version, lossless)

@@ -16,7 +16,7 @@ The FOSSY flow (``repro.fossy.flow``) consumes the same specs for the
 synthesis hand-off, closing the loop the paper calls seamless refinement.
 """
 
-from . import catalog
+from . import catalog, mutate
 from .elaborate import DecodingReport, ElaboratedModel, elaborate_design
 from .spec import (
     BufferSpec,
@@ -33,9 +33,15 @@ from .spec import (
     SharedObjectSpec,
     SynthesisBlockSpec,
     TaskSpec,
+    spec_from_dict,
 )
 from .topology import model_topology
-from .validate import SpecValidationError, check_spec, validate_spec
+from .validate import (
+    SpecValidationError,
+    ValidationIssue,
+    check_spec,
+    validate_spec,
+)
 
 __all__ = [
     "BufferSpec",
@@ -55,9 +61,12 @@ __all__ = [
     "SpecValidationError",
     "SynthesisBlockSpec",
     "TaskSpec",
+    "ValidationIssue",
     "catalog",
     "check_spec",
     "elaborate_design",
     "model_topology",
+    "mutate",
+    "spec_from_dict",
     "validate_spec",
 ]

@@ -1,0 +1,826 @@
+"""Typed mutation operators and a seeded enumerator over the DesignSpec IR.
+
+The paper's Table 1 walks nine hand-picked design points; this module
+makes such points *cheap to mint*: each operator is a small, typed edit
+of a :class:`~repro.design.spec.DesignSpec` (task→processor remapping,
+bus↔P2P channel swaps, RMI chunk/polling/priority sweeps, block-RAM
+placement moves, processor add/remove with mapping-closure repair).
+
+An operator application returns a :class:`MutationResult` — either a
+**validated** spec or the structured rejection from
+:mod:`repro.design.validate` (a tuple of
+:class:`~repro.design.validate.ValidationIssue`, so callers classify by
+``issue.rule`` instead of string-matching).  Operators never emit a spec
+that failed validation.
+
+``enumerate_designs`` is the deterministic seeded random walk used by
+``python -m repro explore``: starting from seed specs (typically the
+VTA catalog rows), it repeatedly picks a frontier spec and an applicable
+operator, applies it, and deduplicates by **canonical structural hash**
+(the spec's JSON form with ``name``/``label`` stripped) so the same
+design reached through different mutation lineages is evaluated once.
+Accepted mutants are renamed canonically (``g<hash prefix>``), keeping
+the content-addressed experiment cache stable across runs and seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from . import catalog
+from .spec import (
+    BUS_CHANNEL_KINDS,
+    BufferSpec,
+    ChannelSpec,
+    DesignSpec,
+    LinkSpec,
+    P2P_CHANNEL_KINDS,
+    ProcessorSpec,
+    SHARED_OBJECT_BEHAVIOURS,
+)
+from .validate import PIPELINE_SLOTS_PER_TASK, ValidationIssue, validate_spec
+
+#: Candidate vocabulary of the enumeration menu (deterministic order).
+PROCESSOR_COUNTS = (1, 2, 3, 4, 6, 8)
+CHUNK_WORDS = (16, 32, 64, 128, 256, 512)
+POLL_CYCLES = (25, 50, 100, 200, 400)
+PRIORITIES = (0, 1, 2, 3)
+
+
+# --------------------------------------------------------------------------
+# canonical structural identity
+# --------------------------------------------------------------------------
+
+
+def canonical_hash(spec: DesignSpec) -> str:
+    """SHA-256 of the spec's canonical JSON with ``name``/``label``
+    stripped: two structurally identical designs hash the same however
+    they were named or reached."""
+    payload = spec.as_dict()
+    payload["name"] = ""
+    payload["label"] = ""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def canonicalise(spec: DesignSpec) -> DesignSpec:
+    """*spec* renamed after its structural hash (``g`` + 12 hex chars).
+
+    Generated designs carry content-derived names so the experiment
+    cache unifies mutation lineages; the human-readable derivation
+    lives in :class:`EnumerationResult` lineage, not in the spec.
+    """
+    digest = canonical_hash(spec)
+    short = f"g{digest[:12]}"
+    return replace(spec, name=short, label=f"generated design {short}")
+
+
+# --------------------------------------------------------------------------
+# operator machinery
+# --------------------------------------------------------------------------
+
+
+class _Reject(Exception):
+    """Raised inside a transform when the operator cannot apply."""
+
+    def __init__(self, message: str, rule: str = "mutate.not-applicable",
+                 path: str = "spec"):
+        super().__init__(message)
+        self.issue = ValidationIssue(message, rule=rule, path=path)
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Outcome of one operator application."""
+
+    operator: str
+    spec: Optional[DesignSpec] = None
+    issues: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.spec is not None
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base of all mutation operators.
+
+    ``apply`` never returns an invalid spec: the transformed design runs
+    through :func:`~repro.design.validate.validate_spec`, and any issue
+    turns the application into a structured rejection.
+
+    ``invert`` returns the operator that undoes this one on *spec* — or
+    ``None`` where no exact inverse exists.  Exactness is checked by
+    trial: the candidate inverse must map the mutant back to *spec*
+    field-for-field.
+    """
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:  # pragma: no cover
+        raise NotImplementedError
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional["Operator"]:
+        return None
+
+    def apply(self, spec: DesignSpec) -> MutationResult:
+        try:
+            mutated = self._transform(spec)
+        except _Reject as reject:
+            return MutationResult(self.describe(), issues=(reject.issue,))
+        issues = validate_spec(mutated)
+        if issues:
+            return MutationResult(self.describe(), issues=tuple(issues))
+        return MutationResult(self.describe(), spec=mutated)
+
+    def invert(self, spec: DesignSpec) -> Optional["Operator"]:
+        candidate = self._inverse_candidate(spec)
+        if candidate is None:
+            return None
+        forward = self.apply(spec)
+        if not forward.ok:
+            return None
+        back = candidate.apply(forward.spec)
+        if back.ok and back.spec == spec:
+            return candidate
+        return None
+
+
+def _require_vta(spec: DesignSpec) -> None:
+    if spec.mapping.layer != "vta":
+        raise _Reject(
+            "operator applies to vta-layer specs only",
+            rule="mutate.layer",
+            path="mapping.layer",
+        )
+
+
+def _store_object(spec: DesignSpec):
+    for shared in spec.shared_objects:
+        if shared.behaviour == "tile_store":
+            return shared
+    raise _Reject(
+        "spec has no tile_store shared object",
+        rule="mutate.no-store",
+        path="shared_objects",
+    )
+
+
+def _bus_channel(spec: DesignSpec) -> ChannelSpec:
+    buses = spec.bus_channels
+    if not buses:
+        raise _Reject(
+            "spec declares no bus channel",
+            rule="mutate.no-bus",
+            path="mapping.channels",
+        )
+    return buses[0]
+
+
+def _link_or_reject(spec: DesignSpec, client: str, port: str) -> LinkSpec:
+    link = spec.link_for(client, port)
+    if link is None:
+        raise _Reject(
+            f"no link for {client}.{port}",
+            rule="mutate.no-link",
+            path=f"mapping.links[{client}.{port}]",
+        )
+    return link
+
+
+def _replace_link(spec: DesignSpec, old: LinkSpec, new: LinkSpec) -> tuple:
+    return tuple(new if link is old else link for link in spec.mapping.links)
+
+
+def _resize_store(spec: DesignSpec, capacity: int):
+    """Coherent block-RAM resize: tile-store capacity, the placed buffer
+    set, and the backing memory depth move together."""
+    store = _store_object(spec)
+    shared_objects = tuple(
+        replace(shared, capacity=capacity) if shared.name == store.name else shared
+        for shared in spec.shared_objects
+    )
+    placements = []
+    memories = list(spec.memories)
+    for placement in spec.mapping.placements:
+        if placement.target != store.name:
+            placements.append(placement)
+            continue
+        slot_words = (
+            placement.buffers[0].words
+            if placement.buffers
+            else catalog.TILE_WORDS
+        )
+        placements.append(
+            replace(
+                placement,
+                buffers=tuple(
+                    BufferSpec(f"tile_slot{i}", slot_words)
+                    for i in range(capacity)
+                ),
+            )
+        )
+        for index, memory in enumerate(memories):
+            if memory.name == placement.memory:
+                memories[index] = replace(
+                    memory, depth_words=capacity * slot_words
+                )
+    return shared_objects, tuple(memories), tuple(placements)
+
+
+# --------------------------------------------------------------------------
+# the operator vocabulary
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetProcessorCount(Operator):
+    """Processor add/remove with mapping-closure repair.
+
+    Rebuilds the software side for ``count`` tasks: one task per
+    processor, store links cloned from the current task-link template,
+    tile-store capacity / block-RAM buffers / memory depth resized to
+    four slots per task, and p2p channels that served removed task links
+    pruned.
+    """
+
+    count: int
+
+    def describe(self) -> str:
+        return f"cpus={self.count}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        _require_vta(spec)
+        if self.count < 1:
+            raise _Reject("processor count must be >= 1", rule="mutate.bad-count")
+        if not spec.tasks:
+            raise _Reject("spec has no tasks", rule="mutate.no-tasks",
+                          path="tasks")
+        template_task = spec.tasks[-1]
+        if not template_task.ports:
+            raise _Reject(
+                f"template task {template_task.name!r} opens no ports",
+                rule="mutate.no-task-port",
+                path=f"tasks[{template_task.name}]",
+            )
+        port = template_task.ports[0]
+        old_names = {task.name for task in spec.tasks}
+        task_links = [
+            link for link in spec.mapping.links if link.client in old_names
+        ]
+        bus_names = {c.name for c in spec.bus_channels}
+        template_link = next(
+            (link for link in task_links if link.channel in bus_names),
+            task_links[0] if task_links else None,
+        )
+        if template_link is None:
+            raise _Reject(
+                "no task link to clone", rule="mutate.no-link",
+                path="mapping.links",
+            )
+        new_names = [f"sw{i}" for i in range(self.count)]
+        reserved = (
+            {m.name for m in spec.modules}
+            | {s.name for s in spec.shared_objects}
+            | {m.name for m in spec.memories}
+        )
+        if reserved.intersection(new_names):
+            raise _Reject(
+                "generated task names collide with declared components",
+                rule="mutate.name-collision",
+            )
+        tasks = tuple(
+            replace(template_task, name=name) for name in new_names
+        )
+        kept_links = [
+            link for link in spec.mapping.links if link.client not in old_names
+        ]
+        channels = [
+            channel
+            for channel in spec.mapping.channels
+            if channel.kind in BUS_CHANNEL_KINDS
+            or any(link.channel == channel.name for link in kept_links)
+        ]
+        new_links = []
+        on_bus = template_link.channel in bus_names
+        for name in new_names:
+            if on_bus:
+                new_links.append(replace(template_link, client=name))
+            else:
+                template_channel = spec.channel(template_link.channel)
+                channel = ChannelSpec(
+                    f"p2p_{name}_{port}",
+                    template_channel.kind,
+                    cycles_per_word=template_channel.cycles_per_word,
+                )
+                channels.append(channel)
+                new_links.append(
+                    replace(template_link, client=name, channel=channel.name)
+                )
+        capacity = PIPELINE_SLOTS_PER_TASK * self.count
+        shared_objects, memories, placements = _resize_store(spec, capacity)
+        mapping = replace(
+            spec.mapping,
+            processors=tuple(
+                ProcessorSpec(f"cpu{i}", tasks=(name,))
+                for i, name in enumerate(new_names)
+            ),
+            channels=tuple(channels),
+            links=tuple(kept_links) + tuple(new_links),
+            placements=placements,
+        )
+        return replace(
+            spec,
+            tasks=tasks,
+            shared_objects=shared_objects,
+            memories=memories,
+            mapping=mapping,
+        )
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        if not spec.tasks or len(spec.tasks) == self.count:
+            return None
+        return SetProcessorCount(len(spec.tasks))
+
+
+@dataclass(frozen=True)
+class RemapTask(Operator):
+    """Move one task onto another (existing) processor; a processor left
+    without tasks is dropped from the mapping."""
+
+    task: str
+    processor: str
+
+    def describe(self) -> str:
+        return f"remap:{self.task}>{self.processor}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        _require_vta(spec)
+        if spec.task(self.task) is None:
+            raise _Reject(f"unknown task {self.task!r}", rule="mutate.no-task",
+                          path=f"tasks[{self.task}]")
+        owner = spec.processor_for(self.task)
+        target = next(
+            (p for p in spec.mapping.processors if p.name == self.processor),
+            None,
+        )
+        if target is None:
+            raise _Reject(
+                f"unknown processor {self.processor!r}",
+                rule="mutate.no-processor",
+                path=f"mapping.processors[{self.processor}]",
+            )
+        if owner is not None and owner.name == target.name:
+            raise _Reject(
+                f"task {self.task!r} already runs on {self.processor!r}",
+                rule="mutate.no-change",
+            )
+        processors = []
+        for cpu in spec.mapping.processors:
+            tasks = tuple(name for name in cpu.tasks if name != self.task)
+            if cpu.name == target.name:
+                tasks = tasks + (self.task,)
+            if tasks:
+                processors.append(replace(cpu, tasks=tasks))
+        return replace(
+            spec, mapping=replace(spec.mapping, processors=tuple(processors))
+        )
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        owner = spec.processor_for(self.task)
+        if owner is None:
+            return None
+        return RemapTask(self.task, owner.name)
+
+
+@dataclass(frozen=True)
+class ChannelToP2p(Operator):
+    """Move one bus-routed RMI link onto a fresh dedicated P2P channel
+    (polling dropped — dedicated links signal readiness directly)."""
+
+    client: str
+    port: str
+
+    def describe(self) -> str:
+        return f"p2p:{self.client}.{self.port}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        _require_vta(spec)
+        link = _link_or_reject(spec, self.client, self.port)
+        channel = spec.channel(link.channel) if link.channel else None
+        if link.transport != "rmi" or channel is None:
+            raise _Reject(
+                f"link {self.client}.{self.port} is not channel-routed",
+                rule="mutate.not-routed",
+                path=f"mapping.links[{self.client}.{self.port}]",
+            )
+        if channel.kind not in BUS_CHANNEL_KINDS:
+            raise _Reject(
+                f"link {self.client}.{self.port} is already point-to-point",
+                rule="mutate.no-change",
+            )
+        name = f"p2p_{self.client}_{self.port}"
+        if spec.channel(name) is not None:
+            raise _Reject(
+                f"channel name {name!r} already taken",
+                rule="mutate.name-collision",
+            )
+        template = next(iter(spec.p2p_channels), None)
+        fresh = ChannelSpec(
+            name,
+            P2P_CHANNEL_KINDS[0],
+            cycles_per_word=(
+                template.cycles_per_word if template is not None else 1.0
+            ),
+        )
+        links = _replace_link(
+            spec, link, replace(link, channel=name, poll_cycles=None)
+        )
+        mapping = replace(
+            spec.mapping,
+            channels=spec.mapping.channels + (fresh,),
+            links=links,
+        )
+        return replace(spec, mapping=mapping)
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        return ChannelToBus(self.client, self.port)
+
+
+@dataclass(frozen=True)
+class ChannelToBus(Operator):
+    """Route one P2P-attached RMI link over the shared bus (guarded
+    targets gain the catalog polling interval; the dedicated channel,
+    now orphaned, is removed)."""
+
+    client: str
+    port: str
+
+    def describe(self) -> str:
+        return f"bus:{self.client}.{self.port}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        _require_vta(spec)
+        bus = _bus_channel(spec)
+        link = _link_or_reject(spec, self.client, self.port)
+        channel = spec.channel(link.channel) if link.channel else None
+        if link.transport != "rmi" or channel is None:
+            raise _Reject(
+                f"link {self.client}.{self.port} is not channel-routed",
+                rule="mutate.not-routed",
+                path=f"mapping.links[{self.client}.{self.port}]",
+            )
+        if channel.kind in BUS_CHANNEL_KINDS:
+            raise _Reject(
+                f"link {self.client}.{self.port} is already on the bus",
+                rule="mutate.no-change",
+            )
+        target = spec.shared_object(link.target)
+        guarded = (
+            target is not None
+            and target.behaviour in SHARED_OBJECT_BEHAVIOURS
+            and SHARED_OBJECT_BEHAVIOURS[target.behaviour].guarded
+        )
+        links = _replace_link(
+            spec,
+            link,
+            replace(
+                link,
+                channel=bus.name,
+                poll_cycles=catalog.POLL_CYCLES if guarded else None,
+            ),
+        )
+        channels = tuple(
+            c for c in spec.mapping.channels if c.name != channel.name
+        )
+        mapping = replace(spec.mapping, channels=channels, links=links)
+        return replace(spec, mapping=mapping)
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        return ChannelToP2p(self.client, self.port)
+
+
+@dataclass(frozen=True)
+class SetChunkWords(Operator):
+    """RMI serialisation chunk sweep: every RMI link's chunk replaced."""
+
+    words: int
+
+    def describe(self) -> str:
+        return f"chunk={self.words}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        if self.words < 1:
+            raise _Reject("chunk_words must be >= 1", rule="mutate.bad-chunk")
+        mutated = catalog.with_chunk_words(spec, self.words)
+        if mutated is spec:
+            raise _Reject(
+                "spec has no RMI links to chunk",
+                rule="mutate.no-rmi-links",
+                path="mapping.links",
+            )
+        return mutated
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        chunks = {
+            link.chunk_words
+            for link in spec.mapping.links
+            if link.transport == "rmi"
+        }
+        if len(chunks) != 1:
+            return None
+        original = next(iter(chunks))
+        if original is None or original == self.words:
+            return None
+        return SetChunkWords(original)
+
+
+@dataclass(frozen=True)
+class SetPollCycles(Operator):
+    """Guard-polling sweep: every polled (bus-attached) link's interval
+    replaced; dedicated links stay interrupt-free."""
+
+    cycles: int
+
+    def describe(self) -> str:
+        return f"poll={self.cycles}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        if self.cycles < 1:
+            raise _Reject("poll_cycles must be >= 1", rule="mutate.bad-poll")
+        links = tuple(
+            replace(link, poll_cycles=self.cycles)
+            if link.poll_cycles is not None
+            else link
+            for link in spec.mapping.links
+        )
+        if links == spec.mapping.links:
+            raise _Reject(
+                "spec has no polled links",
+                rule="mutate.no-polled-links",
+                path="mapping.links",
+            )
+        return replace(spec, mapping=replace(spec.mapping, links=links))
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        polls = {
+            link.poll_cycles
+            for link in spec.mapping.links
+            if link.poll_cycles is not None
+        }
+        if len(polls) != 1:
+            return None
+        original = next(iter(polls))
+        if original == self.cycles:
+            return None
+        return SetPollCycles(original)
+
+
+@dataclass(frozen=True)
+class SetLinkPriority(Operator):
+    """Bus-arbitration priority move of one link."""
+
+    client: str
+    port: str
+    priority: int
+
+    def describe(self) -> str:
+        return f"prio:{self.client}.{self.port}={self.priority}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        _require_vta(spec)
+        link = _link_or_reject(spec, self.client, self.port)
+        if link.priority == self.priority:
+            raise _Reject(
+                f"link {self.client}.{self.port} already has priority "
+                f"{self.priority}",
+                rule="mutate.no-change",
+            )
+        links = _replace_link(spec, link, replace(link, priority=self.priority))
+        return replace(spec, mapping=replace(spec.mapping, links=links))
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        link = spec.link_for(self.client, self.port)
+        if link is None or link.priority is None:
+            return None
+        return SetLinkPriority(self.client, self.port, link.priority)
+
+
+@dataclass(frozen=True)
+class SetStoreSlots(Operator):
+    """Block-RAM placement move: tile-store capacity, placed buffers,
+    and backing memory depth resized together."""
+
+    slots: int
+
+    def describe(self) -> str:
+        return f"slots={self.slots}"
+
+    def _transform(self, spec: DesignSpec) -> DesignSpec:
+        if self.slots < 1:
+            raise _Reject("capacity must be >= 1", rule="mutate.bad-capacity")
+        store = _store_object(spec)
+        if store.capacity == self.slots:
+            raise _Reject(
+                f"store already holds {self.slots} tiles",
+                rule="mutate.no-change",
+            )
+        shared_objects, memories, placements = _resize_store(spec, self.slots)
+        return replace(
+            spec,
+            shared_objects=shared_objects,
+            memories=memories,
+            mapping=replace(spec.mapping, placements=placements),
+        )
+
+    def _inverse_candidate(self, spec: DesignSpec) -> Optional[Operator]:
+        try:
+            store = _store_object(spec)
+        except _Reject:
+            return None
+        if store.capacity is None or store.capacity == self.slots:
+            return None
+        return SetStoreSlots(store.capacity)
+
+
+# --------------------------------------------------------------------------
+# enumeration
+# --------------------------------------------------------------------------
+
+
+def operator_menu(spec: DesignSpec) -> list:
+    """Every operator applicable to *spec*, in deterministic order.
+
+    Only VTA-layer specs mutate (the Application Layer has no mapping to
+    explore); entries may still be rejected on application — e.g. a
+    block-RAM shrink below the pipeline window — which the enumerator
+    counts by rule.
+    """
+    if spec.mapping.layer != "vta":
+        return []
+    ops: list = []
+    current_tasks = len(spec.tasks)
+    for count in PROCESSOR_COUNTS:
+        if count != current_tasks:
+            ops.append(SetProcessorCount(count))
+    for task in spec.tasks:
+        owner = spec.processor_for(task.name)
+        for cpu in spec.mapping.processors:
+            if owner is not None and cpu.name != owner.name:
+                ops.append(RemapTask(task.name, cpu.name))
+    bus_names = {c.name for c in spec.bus_channels}
+    for link in spec.mapping.links:
+        if link.transport != "rmi" or link.channel is None:
+            continue
+        if link.channel in bus_names:
+            ops.append(ChannelToP2p(link.client, link.port))
+            for priority in PRIORITIES:
+                if priority != link.priority:
+                    ops.append(SetLinkPriority(link.client, link.port, priority))
+        else:
+            ops.append(ChannelToBus(link.client, link.port))
+    chunks = {
+        link.chunk_words
+        for link in spec.mapping.links
+        if link.transport == "rmi"
+    }
+    if chunks:
+        for words in CHUNK_WORDS:
+            if chunks != {words}:
+                ops.append(SetChunkWords(words))
+    polled = {
+        link.poll_cycles
+        for link in spec.mapping.links
+        if link.poll_cycles is not None
+    }
+    if polled:
+        for cycles in POLL_CYCLES:
+            if polled != {cycles}:
+                ops.append(SetPollCycles(cycles))
+    store = next(
+        (s for s in spec.shared_objects if s.behaviour == "tile_store"), None
+    )
+    if store is not None and store.capacity is not None:
+        base = store.capacity
+        for slots in sorted({base // 2, base + 4, base * 2}):
+            if slots >= 1 and slots != base:
+                ops.append(SetStoreSlots(slots))
+    return ops
+
+
+@dataclass(frozen=True)
+class Lineage:
+    """How one accepted design came to be."""
+
+    #: Canonical hash of the parent design (``None`` for seeds).
+    parent: Optional[str]
+    #: Operator description (seed specs carry their catalog name).
+    operator: str
+
+
+@dataclass
+class EnumerationResult:
+    """Everything a seeded enumeration produced."""
+
+    #: The seed specs, as given.
+    seeds: list
+    #: Accepted mutants (canonically renamed), in acceptance order.
+    generated: list
+    #: ``canonical hash -> Lineage`` for seeds and mutants alike.
+    lineage: dict
+    #: ``ValidationIssue.rule -> count`` over all rejected applications.
+    rejections: dict
+    #: Operator applications attempted.
+    attempts: int = 0
+    #: Valid mutants dropped because their structure was already known.
+    duplicates: int = 0
+
+    def derived_label(self, digest: str) -> str:
+        """Human-readable derivation, e.g. ``7b~cpus=6~chunk=32``."""
+        parts: list = []
+        cursor: Optional[str] = digest
+        while cursor is not None:
+            entry = self.lineage.get(cursor)
+            if entry is None:
+                parts.append(cursor[:12])
+                break
+            parts.append(entry.operator)
+            cursor = entry.parent
+        return "~".join(reversed(parts))
+
+    @property
+    def specs(self) -> list:
+        """Seeds then mutants — the full evaluated population."""
+        return list(self.seeds) + list(self.generated)
+
+
+def enumerate_designs(
+    seeds,
+    budget: int,
+    seed: int = 0,
+    max_attempts: Optional[int] = None,
+) -> EnumerationResult:
+    """Seeded random walk over the mutation space.
+
+    ``seeds``
+        Starting :class:`DesignSpec` population (kept verbatim; only
+        VTA-layer members spawn mutants).
+    ``budget``
+        Number of *accepted* (validated, structurally distinct) mutants
+        to produce.  The walk also stops after ``max_attempts``
+        applications (default ``40 × budget``) so a rejection-heavy
+        space terminates.
+    ``seed``
+        PRNG seed; the same seeds/budget/seed triple reproduces the
+        identical population, lineage, and rejection profile.
+    """
+    rng = random.Random(seed)
+    seeds = list(seeds)
+    result = EnumerationResult(
+        seeds=seeds, generated=[], lineage={}, rejections={}
+    )
+    seen: set = set()
+    frontier: list = []
+    for spec in seeds:
+        digest = canonical_hash(spec)
+        if digest not in seen:
+            seen.add(digest)
+            result.lineage[digest] = Lineage(parent=None, operator=spec.name)
+        if operator_menu(spec):
+            frontier.append((digest, spec))
+    if max_attempts is None:
+        max_attempts = max(1, budget) * 40
+    while len(result.generated) < budget and result.attempts < max_attempts:
+        if not frontier:
+            break
+        parent_digest, parent = frontier[rng.randrange(len(frontier))]
+        menu = operator_menu(parent)
+        if not menu:
+            continue
+        operator = menu[rng.randrange(len(menu))]
+        result.attempts += 1
+        outcome = operator.apply(parent)
+        if not outcome.ok:
+            for issue in outcome.issues:
+                rule = getattr(issue, "rule", "generic")
+                result.rejections[rule] = result.rejections.get(rule, 0) + 1
+            continue
+        digest = canonical_hash(outcome.spec)
+        if digest in seen:
+            result.duplicates += 1
+            continue
+        seen.add(digest)
+        mutant = canonicalise(outcome.spec)
+        result.lineage[digest] = Lineage(
+            parent=parent_digest, operator=operator.describe()
+        )
+        result.generated.append(mutant)
+        if operator_menu(mutant):
+            frontier.append((digest, mutant))
+    return result

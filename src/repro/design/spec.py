@@ -348,3 +348,79 @@ def _as_plain(value):
     if isinstance(value, tuple):
         return [_as_plain(item) for item in value]
     return value
+
+
+# --------------------------------------------------------------------------
+# Deserialisation: the inverse of ``as_dict``.
+#
+# ``spec_from_dict(spec.as_dict()) == spec`` holds for every spec the IR
+# can express, which is what lets generated designs travel through JSON
+# (RunRequest params, the result cache, worker processes) and come back
+# as the same frozen dataclasses.  Unknown keys raise — a serialised spec
+# from a newer IR should fail loudly, not silently drop fields.
+# --------------------------------------------------------------------------
+
+#: For each dataclass, the element type of its tuple fields (``None`` =
+#: plain values such as port-name strings).
+_TUPLE_FIELDS = {
+    "DesignSpec": {
+        "tasks": "TaskSpec",
+        "shared_objects": "SharedObjectSpec",
+        "modules": "HardwareModuleSpec",
+        "memories": "MemorySpec",
+    },
+    "MappingSpec": {
+        "processors": "ProcessorSpec",
+        "channels": "ChannelSpec",
+        "links": "LinkSpec",
+        "placements": "MemoryPlacementSpec",
+        "datapaths": "DatapathSpec",
+        "synthesis_blocks": "SynthesisBlockSpec",
+    },
+    "MemoryPlacementSpec": {"buffers": "BufferSpec"},
+    "TaskSpec": {"ports": None},
+    "ProcessorSpec": {"tasks": None},
+}
+
+#: For each dataclass, nested single-dataclass fields.
+_NESTED_FIELDS = {
+    "DesignSpec": {"mapping": "MappingSpec"},
+    "MappingSpec": {"external_memory": "ExternalMemorySpec"},
+}
+
+
+def _class_named(name: str):
+    return globals()[name]
+
+
+def _from_plain(cls, data):
+    if data is None:
+        return None
+    data = dict(data)
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__} does not know field(s) {sorted(unknown)}; "
+            "the serialised spec is from an incompatible IR"
+        )
+    tuples = _TUPLE_FIELDS.get(cls.__name__, {})
+    nested = _NESTED_FIELDS.get(cls.__name__, {})
+    kwargs = {}
+    for name, value in data.items():
+        if name in tuples:
+            element = tuples[name]
+            if element is None:
+                value = tuple(value)
+            else:
+                element_cls = _class_named(element)
+                value = tuple(_from_plain(element_cls, item) for item in value)
+        elif name in nested:
+            value = _from_plain(_class_named(nested[name]), value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def spec_from_dict(data: dict) -> DesignSpec:
+    """Rebuild a :class:`DesignSpec` from its ``as_dict()`` form."""
+    return _from_plain(DesignSpec, data)

@@ -34,7 +34,29 @@ from .request import (
 
 
 def execute_request(request: RunRequest) -> dict:
-    """Run one request; returns its plain-data (JSON-safe) payload."""
+    """Run one request; returns its plain-data (JSON-safe) payload.
+
+    With ``options["tolerant"]`` set, an execution failure becomes a
+    deterministic ``{"failed": {...}}`` payload instead of an exception
+    — one deadlocking mutant must not kill a whole exploration batch
+    riding the same ``ProcessPoolExecutor.map``.  The flag is
+    identity-bearing like every option, so tolerant and strict cells
+    cache separately.
+    """
+    if request.options.get("tolerant"):
+        try:
+            return _dispatch(request)
+        except Exception as exc:  # noqa: BLE001 - converted to data
+            return {
+                "failed": {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            }
+    return _dispatch(request)
+
+
+def _dispatch(request: RunRequest) -> dict:
     if request.kind == KIND_SIMULATE:
         return _simulate(request.params, request.options)
     if request.kind == KIND_PROFILE:
@@ -61,6 +83,8 @@ def timed_execute(request: RunRequest) -> tuple:
 
 
 def _simulate(params: dict, options: dict) -> dict:
+    import dataclasses
+
     from .. import telemetry
     from ..casestudy import profiles, vta_versions
     from ..casestudy.explorer import ALL_VERSIONS
@@ -82,7 +106,23 @@ def _simulate(params: dict, options: dict) -> dict:
             profiles.HW_COPROCESSOR_SPEEDUP = float(hw_speedup)
         if chunk is not None:
             vta_versions.RMI_CHUNK_WORDS = int(chunk)
-        if version == "scaled":
+        if version == "spec":
+            # Spec-valued request: the design travels by value, so any
+            # generated candidate elaborates like a catalog row.
+            from ..design import catalog, elaborate_design, spec_from_dict
+
+            if options.get("so_bus") == "plb":
+                raise ValueError(
+                    "so_bus='plb' applies to catalog model classes only"
+                )
+            spec = spec_from_dict(params["spec"])
+            if chunk is not None:
+                spec = catalog.with_chunk_words(spec, int(chunk))
+
+            def model_cls(workload):
+                return elaborate_design(spec, workload)
+
+        elif version == "scaled":
             model_cls = scaled_parallel_version(
                 int(params["num_tasks"]), bool(params["p2p"])
             )
@@ -93,7 +133,7 @@ def _simulate(params: dict, options: dict) -> dict:
                     f"registered: {sorted(ALL_VERSIONS)}"
                 )
             model_cls = ALL_VERSIONS[version]
-        if options.get("so_bus") == "plb":
+        if version != "spec" and options.get("so_bus") == "plb":
             model_cls = _plb_variant(model_cls)
         if options.get("telemetry") or options.get("profile"):
             recorder = telemetry.TelemetryRecorder()
@@ -104,7 +144,11 @@ def _simulate(params: dict, options: dict) -> dict:
             # not accumulate this run's spans and counters, or a later
             # cache hit would report metrics from unrelated work.
             telemetry.install(telemetry.TelemetryRecorder())
-        model = model_cls(paper_workload(lossless))
+        workload = paper_workload(lossless)
+        num_tiles = params.get("num_tiles")
+        if num_tiles is not None:
+            workload = dataclasses.replace(workload, num_tiles=int(num_tiles))
+        model = model_cls(workload)
         if options.get("profile"):
             from ..kernel.tracing import SimProfiler
 

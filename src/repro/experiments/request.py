@@ -106,19 +106,55 @@ class RunResult:
         return self.payload.get("telemetry")
 
 
+def spec_request(
+    spec,
+    lossless: bool,
+    *,
+    num_tiles: Optional[int] = None,
+    rid: Optional[str] = None,
+    **options,
+) -> RunRequest:
+    """A simulate request carrying an arbitrary :class:`DesignSpec`.
+
+    The spec travels *by value* (its ``as_dict()`` form) in the request
+    params, so generated designs flow through the same process-pool
+    fan-out and content-addressed cache as catalog versions — no
+    registry entry, no string-id plumbing.  ``num_tiles`` shrinks the
+    paper workload (the explore driver's quick workload); omitted, the
+    full 16-tile geometry is decoded.
+    """
+    params: dict = {
+        "version": "spec",
+        "spec": spec.as_dict(),
+        "lossless": bool(lossless),
+    }
+    if num_tiles is not None:
+        params["num_tiles"] = int(num_tiles)
+    mode = "lossless" if lossless else "lossy"
+    return RunRequest(
+        rid=rid or f"sim:{spec.name}:{mode}",
+        kind=KIND_SIMULATE,
+        params=params,
+        options=options,
+    )
+
+
 def request_spec(request: RunRequest):
     """The :class:`DesignSpec` a simulate request elaborates (else None).
 
     This is the *exact* spec the interpreter builds — including the RMI
     chunk override — so the cache key tracks the design description, not
-    just its name.
+    just its name.  Spec-valued requests (``version == "spec"``) rebuild
+    the frozen dataclasses from the params.
     """
     if request.kind != KIND_SIMULATE:
         return None
-    from ..design import catalog
+    from ..design import catalog, spec_from_dict
 
     version = request.params["version"]
-    if version == "scaled":
+    if version == "spec":
+        spec = spec_from_dict(request.params["spec"])
+    elif version == "scaled":
         spec = catalog.scaled_vta_spec(
             int(request.params["num_tasks"]), bool(request.params["p2p"])
         )
@@ -145,7 +181,7 @@ def workload_descriptor(request: RunRequest) -> dict:
         return {
             "workload": "paper",
             "lossless": lossless,
-            "num_tiles": PAPER_TILES,
+            "num_tiles": int(request.params.get("num_tiles", PAPER_TILES)),
             "num_components": PAPER_COMPONENTS,
             "tile": PAPER_TILE_SIZE,
             "stage_times_ms": {

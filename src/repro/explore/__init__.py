@@ -1,0 +1,36 @@
+"""``repro.explore`` — generative design-space exploration.
+
+The enumerate→validate→simulate→Pareto pipeline over the DesignSpec IR:
+
+* :mod:`repro.explore.area` — slice-equivalent area/resource proxy
+  derived from the FOSSY estimator plus spec structure,
+* :mod:`repro.explore.objectives` — objective vectors (decode time, bus
+  traffic, area) extracted from simulation payloads,
+* :mod:`repro.explore.pareto` — non-dominated front computation,
+* :mod:`repro.explore.driver` — the seeded exploration driver feeding
+  generated specs through the experiment engine (cached, parallel),
+* :mod:`repro.explore.report` — deterministic Markdown/CSV/JSON report
+  with the nine Table 1 versions annotated against the computed front.
+
+Entry point: ``python -m repro explore --budget N --seed S``.
+"""
+
+from .area import AreaProxy, area_proxy
+from .driver import Candidate, ExplorationConfig, ExplorationOutcome, explore
+from .objectives import ObjectiveVector, objectives_from
+from .pareto import dominates, pareto_front
+from .report import write_reports
+
+__all__ = [
+    "AreaProxy",
+    "Candidate",
+    "ExplorationConfig",
+    "ExplorationOutcome",
+    "ObjectiveVector",
+    "area_proxy",
+    "dominates",
+    "explore",
+    "objectives_from",
+    "pareto_front",
+    "write_reports",
+]

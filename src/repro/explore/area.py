@@ -1,0 +1,130 @@
+"""Area/resource proxy of one DesignSpec, in Virtex-4 slice equivalents.
+
+The paper's platform (ML401, Virtex-4 LX25) gives the exploration its
+third objective: a mapping that wins decode time by adding processors or
+dedicated channels must pay for them in fabric.  The proxy combines
+
+* **estimated** numbers where the repo has an estimator — the IDWT
+  filter datapaths go through the FOSSY flow
+  (:func:`repro.fossy.flow.synthesise_block`), exactly the Table 2
+  figures — with
+* **structural constants** for everything the estimator does not model:
+  soft processor cores, bus/P2P infrastructure, RMI transactors, Shared
+  Object guard+arbitration logic.  The constants are sized from public
+  Virtex-4 core datasheets (MicroBlaze ~1.3k slices, OPB fabric ~200,
+  …) and are *proxies*: good enough to rank mappings, not sign-off
+  area.  Block RAMs are counted exactly (RAMB16 primitives from placed
+  memory depth) and folded into the scalar at a fixed slice-equivalent
+  weight so a single number can be Pareto-ranked.
+
+Determinism: everything derives from the spec and the (pure) FOSSY
+estimator, so equal specs always produce byte-equal numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..design.spec import BUS_CHANNEL_KINDS, DesignSpec, P2P_CHANNEL_KINDS
+
+#: One soft processor core (MicroBlaze-class CPU + local memory glue).
+CPU_SLICES = 1350
+#: Shared-bus fabric (arbiter + address decode) and per-master tap.
+BUS_SLICES = 180
+BUS_MASTER_SLICES = 25
+#: One dedicated point-to-point channel (FIFO + handshake).
+P2P_SLICES = 40
+#: One RMI transactor (serialisation state machine on a client port).
+RMI_TRANSACTOR_SLICES = 60
+#: Shared Object guard/arbitration wrapper + per-registered-client port.
+SO_SLICES = 120
+SO_CLIENT_SLICES = 15
+#: IDWT pipeline control module (scheduler FSM, no datapath).
+CONTROL_SLICES = 150
+#: Fallback for an unestimated hardware module kind.
+MODULE_FALLBACK_SLICES = 300
+#: Scalarisation weight of one RAMB16 primitive, in slices.  A Virtex-4
+#: block RAM occupies roughly the die area of a 64-slice tile plus
+#: routing; the weight is doubled so BRAM-hungry placements are not
+#: near-free in the scalar objective.
+BRAM_SLICE_EQUIV = 128
+#: Word width of every placed buffer in this model (32-bit samples).
+WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class AreaProxy:
+    """Resource summary of one spec."""
+
+    slices: int
+    brams: int
+    cpus: int
+
+    @property
+    def slice_equivalents(self) -> int:
+        """The scalar objective: slices + weighted block RAMs."""
+        return self.slices + BRAM_SLICE_EQUIV * self.brams
+
+
+@lru_cache(maxsize=None)
+def _filter_slices(mode: str) -> int:
+    """FOSSY slice estimate of one IDWT filter datapath (Table 2)."""
+    from ..fossy import build_idwt53, build_idwt97
+    from ..fossy.flow import synthesise_block
+
+    builder = build_idwt53 if mode == "5/3" else build_idwt97
+    return int(synthesise_block(builder()).fossy_report.slices)
+
+
+def _bram_primitives(spec: DesignSpec) -> int:
+    """RAMB16 primitives of all placed memories (exact count)."""
+    from ..vta.memory import BlockRam
+
+    total = 0
+    for memory in spec.memories:
+        bits = memory.depth_words * WORD_BITS
+        total += max(1, math.ceil(bits / BlockRam.PRIMITIVE_BITS))
+    return total
+
+
+def area_proxy(spec: DesignSpec) -> AreaProxy:
+    """The resource proxy of *spec* (see module docstring for caveats).
+
+    Application-layer specs (no processors, no channels) count one
+    implicit CPU and no communication fabric — they are abstraction
+    references, not implementable mappings, and the report annotates
+    them as such.
+    """
+    slices = 0
+    cpus = max(1, len(spec.mapping.processors))
+    slices += CPU_SLICES * cpus
+    for module in spec.modules:
+        if module.kind == "idwt_filter" and module.mode in ("5/3", "9/7"):
+            slices += _filter_slices(module.mode)
+        elif module.kind == "idwt2d_control":
+            slices += CONTROL_SLICES
+        else:
+            slices += MODULE_FALLBACK_SLICES
+    for shared in spec.shared_objects:
+        clients = sum(
+            1 for link in spec.mapping.links if link.target == shared.name
+        )
+        slices += SO_SLICES + SO_CLIENT_SLICES * clients
+    for channel in spec.mapping.channels:
+        if channel.kind in BUS_CHANNEL_KINDS:
+            masters = sum(
+                1
+                for link in spec.mapping.links
+                if link.channel == channel.name
+            )
+            slices += BUS_SLICES + BUS_MASTER_SLICES * masters
+        elif channel.kind in P2P_CHANNEL_KINDS:
+            slices += P2P_SLICES
+    slices += RMI_TRANSACTOR_SLICES * sum(
+        1 for link in spec.mapping.links if link.transport == "rmi"
+    )
+    return AreaProxy(
+        slices=slices, brams=_bram_primitives(spec), cpus=cpus
+    )

@@ -1,0 +1,207 @@
+"""The exploration driver: enumerate → validate → simulate → rank.
+
+One call to :func:`explore` is the whole pipeline:
+
+1. **Enumerate** — the seeded random walk of
+   :func:`repro.design.mutate.enumerate_designs` grows the population
+   from the VTA catalog rows, deduplicating by canonical structural
+   hash and classifying every validation rejection by rule.
+2. **Simulate** — every candidate (the nine paper versions *and* the
+   mutants) becomes one spec-valued tolerant
+   :class:`~repro.experiments.request.RunRequest`; the caller's
+   :class:`~repro.experiments.runner.Runner` serves them through the
+   content-addressed cache and the process-pool fan-out.
+3. **Extract & rank** — objective vectors (decode time, bus words,
+   area proxy) feed the non-dominated front.  Only *mapped* (VTA-layer)
+   candidates compete: the application-layer rows v1–v5 have no
+   communication architecture to pay for and would trivially dominate,
+   so they ride along as abstraction references, annotated but not
+   ranked.
+
+Everything the driver returns is a pure function of
+``(seeds, budget, seed, workload, code)`` — wall-clock and cache state
+never leak into the outcome, which is what makes the report
+byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..design import catalog
+from ..design.mutate import canonical_hash, enumerate_designs
+from ..design.spec import DesignSpec
+from ..experiments.request import spec_request
+from .objectives import ObjectiveVector, objectives_from
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """One exploration run, fully determined."""
+
+    #: Accepted mutants to generate on top of the nine catalog rows.
+    budget: int = 120
+    #: PRNG seed of the enumeration walk.
+    seed: int = 0
+    #: Decode mode simulated.
+    lossless: bool = True
+    #: Tiles of the paper workload to decode (``None`` = all 16).  The
+    #: default quick workload keeps hundreds of candidates tractable.
+    num_tiles: Optional[int] = 4
+    #: Cap on operator applications (default ``40 × budget``).
+    max_attempts: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "lossless": self.lossless,
+            "num_tiles": self.num_tiles,
+            "max_attempts": self.max_attempts,
+        }
+
+
+@dataclass
+class Candidate:
+    """One evaluated design point."""
+
+    spec: DesignSpec
+    #: Canonical structural hash (dedup identity).
+    digest: str
+    #: ``"catalog"`` or ``"generated"``.
+    source: str
+    #: Human-readable derivation (catalog name or mutation lineage).
+    derived: str
+    #: VTA-layer mapping → competes on the front.
+    mapped: bool
+    payload: Optional[dict] = None
+    objectives: Optional[ObjectiveVector] = None
+    failure: Optional[dict] = None
+    on_front: bool = False
+    #: Served from the result cache (informational; never reported).
+    cached: bool = False
+    #: Actually executed this run (not cached, not a batch alias) — the
+    #: ledger records provenance for exactly these.
+    executed: bool = False
+    #: Full request spec hash (the cache/ledger identity).
+    spec_hash: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class ExplorationOutcome:
+    """Everything one exploration produced."""
+
+    config: ExplorationConfig
+    #: All candidates: catalog rows in Table 1 order, then mutants in
+    #: acceptance order.
+    candidates: list = field(default_factory=list)
+    #: Front members (subset of ``candidates``), input order.
+    front: list = field(default_factory=list)
+    #: Enumeration statistics (attempts, duplicates, rejections by rule).
+    enumeration: dict = field(default_factory=dict)
+    #: How the batch was served (``Runner.last_stats``).
+    runner_stats: dict = field(default_factory=dict)
+
+    @property
+    def evaluated(self) -> list:
+        return [c for c in self.candidates if c.objectives is not None]
+
+    @property
+    def failed(self) -> list:
+        return [c for c in self.candidates if c.failure is not None]
+
+    def candidate(self, name: str) -> Candidate:
+        for entry in self.candidates:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+
+def explore(config: ExplorationConfig, runner) -> ExplorationOutcome:
+    """Run one full exploration through *runner* (cache + fan-out)."""
+    from .pareto import pareto_front
+
+    seeds = catalog.specs()
+    enumeration = enumerate_designs(
+        [spec for spec in seeds if spec.is_vta],
+        budget=config.budget,
+        seed=config.seed,
+        max_attempts=config.max_attempts,
+    )
+    candidates: list = []
+    for spec in seeds:
+        digest = canonical_hash(spec)
+        candidates.append(
+            Candidate(
+                spec=spec,
+                digest=digest,
+                source="catalog",
+                derived=spec.name,
+                mapped=spec.is_vta,
+            )
+        )
+    for spec in enumeration.generated:
+        digest = canonical_hash(spec)
+        candidates.append(
+            Candidate(
+                spec=spec,
+                digest=digest,
+                source="generated",
+                derived=enumeration.derived_label(digest),
+                mapped=spec.is_vta,
+            )
+        )
+
+    requests = [
+        spec_request(
+            candidate.spec,
+            config.lossless,
+            num_tiles=config.num_tiles,
+            rid=f"sim:{candidate.name}",
+            tolerant=True,
+        )
+        for candidate in candidates
+    ]
+    results = runner.run(requests)
+    for candidate, result in zip(candidates, results):
+        candidate.payload = result.payload
+        candidate.cached = result.cached
+        candidate.executed = not result.cached and not result.deduplicated
+        candidate.spec_hash = (
+            result.key.spec_hash if result.key is not None else None
+        )
+        if "failed" in result.payload:
+            candidate.failure = dict(result.payload["failed"])
+        else:
+            candidate.objectives = objectives_from(
+                candidate.spec, result.payload
+            )
+
+    ranked = [
+        candidate
+        for candidate in candidates
+        if candidate.mapped and candidate.objectives is not None
+    ]
+    front = pareto_front(
+        ranked, key=lambda candidate: candidate.objectives.as_tuple()
+    )
+    for candidate in front:
+        candidate.on_front = True
+
+    return ExplorationOutcome(
+        config=config,
+        candidates=candidates,
+        front=front,
+        enumeration={
+            "attempts": enumeration.attempts,
+            "duplicates": enumeration.duplicates,
+            "generated": len(enumeration.generated),
+            "rejections": dict(sorted(enumeration.rejections.items())),
+        },
+        runner_stats=dict(runner.last_stats),
+    )

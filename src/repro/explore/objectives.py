@@ -1,0 +1,71 @@
+"""Objective extraction: one simulation payload → one objective vector.
+
+The exploration minimises three objectives, all already produced by the
+existing stack:
+
+``decode_ms``
+    End-to-end decode time of the workload (``DecodingReport``).
+``bus_words``
+    Words moved over shared bus channels (``ChannelStats`` in the
+    payload details) — the paper's Table 1 communication story.
+``area``
+    Slice-equivalent resource proxy of the spec
+    (:func:`repro.explore.area.area_proxy`).
+
+Payloads come straight from the experiment engine
+(``experiments/execute.py`` simulate cells), so cached and fresh runs
+extract identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..design.spec import DesignSpec
+from .area import area_proxy
+
+
+@dataclass(frozen=True)
+class ObjectiveVector:
+    """One point in objective space (all minimised)."""
+
+    decode_ms: float
+    bus_words: float
+    area: float
+
+    def as_tuple(self) -> tuple:
+        return (self.decode_ms, self.bus_words, self.area)
+
+    def as_dict(self) -> dict:
+        return {
+            "decode_ms": self.decode_ms,
+            "bus_words": self.bus_words,
+            "area": self.area,
+        }
+
+
+def objectives_from(spec: DesignSpec, payload: dict) -> ObjectiveVector:
+    """The objective vector of one simulated candidate.
+
+    Raises ``ValueError`` on a failed payload (tolerant-mode
+    ``{"failed": ...}``) or non-finite numbers — the front computation
+    must never see NaN.
+    """
+    if "failed" in payload:
+        raise ValueError(
+            f"candidate {spec.name!r} failed: {payload['failed']}"
+        )
+    decode_ms = float(payload["decode_ms"])
+    details = payload.get("details") or {}
+    opb = details.get("opb") or {}
+    bus_words = float(opb.get("words", 0))
+    area = float(area_proxy(spec).slice_equivalents)
+    vector = ObjectiveVector(
+        decode_ms=decode_ms, bus_words=bus_words, area=area
+    )
+    if not all(math.isfinite(value) for value in vector.as_tuple()):
+        raise ValueError(
+            f"candidate {spec.name!r} has non-finite objectives {vector}"
+        )
+    return vector

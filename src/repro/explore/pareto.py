@@ -1,0 +1,56 @@
+"""Non-dominated front computation (minimisation, any dimensionality).
+
+Small and exact: the populations here are hundreds to a few thousand
+points, so the O(n²) sweep is simpler and more auditable than a
+divide-and-conquer front.  Order is stable (front members keep their
+input order), equal vectors are *all* kept (neither strictly dominates
+the other), and NaN input is rejected loudly — a NaN would silently
+poison every dominance comparison it touches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when *a* Pareto-dominates *b* (minimisation): no worse in
+    every dimension and strictly better in at least one."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"dimension mismatch: {len(a)} vs {len(b)}"
+        )
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    items: Iterable,
+    key: Optional[Callable] = None,
+) -> List:
+    """The non-dominated members of *items*, in input order.
+
+    ``key`` maps an item to its objective sequence (identity by
+    default).  Duplicate vectors all survive — callers that want one
+    representative per point deduplicate beforehand.
+    """
+    items = list(items)
+    vectors = [tuple(key(item)) if key else tuple(item) for item in items]
+    for index, vector in enumerate(vectors):
+        for value in vector:
+            if math.isnan(value):
+                raise ValueError(
+                    f"NaN objective in item {index}: {vector}"
+                )
+    front = []
+    for index, (item, vector) in enumerate(zip(items, vectors)):
+        dominated = any(
+            dominates(other, vector)
+            for position, other in enumerate(vectors)
+            if position != index
+        )
+        if not dominated:
+            front.append(item)
+    return front

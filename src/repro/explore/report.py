@@ -1,0 +1,218 @@
+"""Deterministic exploration reports: Markdown, CSV, JSON.
+
+``write_reports`` renders one :class:`~repro.explore.driver.ExplorationOutcome`
+into three artifacts (``report.md``, ``candidates.csv``,
+``report.json``) whose bytes depend only on the exploration inputs —
+no timestamps, no wall-clock, no cache-hit flags — so the same
+``(budget, seed, workload)`` triple always reproduces identical files,
+cold or warm cache.
+
+The nine Table 1 versions are annotated in every artifact: VTA rows
+compete on the front (the reproduction claim is that the hand-picked
+7a/7b land on or near it), Application-Layer rows appear as abstraction
+references outside the ranking.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..reporting.tables import Table
+from .area import area_proxy
+from .driver import Candidate, ExplorationOutcome
+
+#: Artifact file names inside the output directory.
+MARKDOWN_NAME = "report.md"
+CSV_NAME = "candidates.csv"
+JSON_NAME = "report.json"
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _fmt_words(value: float) -> str:
+    return f"{value:.0f}"
+
+
+def _candidate_record(candidate: Candidate) -> dict:
+    area = area_proxy(candidate.spec)
+    record = {
+        "name": candidate.name,
+        "label": candidate.spec.label,
+        "derived": candidate.derived,
+        "source": candidate.source,
+        "layer": candidate.spec.mapping.layer,
+        "mapped": candidate.mapped,
+        "on_front": candidate.on_front,
+        "area": {
+            "slices": area.slices,
+            "brams": area.brams,
+            "cpus": area.cpus,
+            "slice_equivalents": area.slice_equivalents,
+        },
+    }
+    if candidate.objectives is not None:
+        record["objectives"] = candidate.objectives.as_dict()
+    if candidate.failure is not None:
+        record["failure"] = candidate.failure
+    return record
+
+
+def _front_sorted(outcome: ExplorationOutcome) -> list:
+    return sorted(
+        outcome.front,
+        key=lambda c: (c.objectives.decode_ms, c.name),
+    )
+
+
+def render_json(outcome: ExplorationOutcome) -> str:
+    document = {
+        "config": outcome.config.as_dict(),
+        "population": {
+            "candidates": len(outcome.candidates),
+            "evaluated": len(outcome.evaluated),
+            "failed": len(outcome.failed),
+            "front": len(outcome.front),
+        },
+        "enumeration": outcome.enumeration,
+        "front": [
+            _candidate_record(candidate)
+            for candidate in _front_sorted(outcome)
+        ],
+        "catalog": [
+            _candidate_record(candidate)
+            for candidate in outcome.candidates
+            if candidate.source == "catalog"
+        ],
+        "candidates": [
+            _candidate_record(candidate)
+            for candidate in outcome.candidates
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_csv(outcome: ExplorationOutcome) -> str:
+    table = Table(
+        (
+            "name",
+            "derived",
+            "source",
+            "layer",
+            "decode_ms",
+            "bus_words",
+            "area",
+            "on_front",
+        )
+    )
+    for candidate in outcome.candidates:
+        if candidate.objectives is None:
+            decode = words = area = ""
+        else:
+            decode = _fmt_ms(candidate.objectives.decode_ms)
+            words = _fmt_words(candidate.objectives.bus_words)
+            area = _fmt_words(candidate.objectives.area)
+        table.add_row(
+            candidate.name,
+            candidate.derived,
+            candidate.source,
+            candidate.spec.mapping.layer,
+            decode,
+            words,
+            area,
+            "yes" if candidate.on_front else "no",
+        )
+    return table.to_csv()
+
+
+def render_markdown(outcome: ExplorationOutcome) -> str:
+    config = outcome.config
+    lines = [
+        "# Design-space exploration report",
+        "",
+        f"- mode: {'lossless' if config.lossless else 'lossy'}",
+        f"- workload: paper geometry, "
+        f"{config.num_tiles if config.num_tiles is not None else 16} tile(s)",
+        f"- budget: {config.budget} generated candidates, seed {config.seed}",
+        f"- population: {len(outcome.candidates)} candidates "
+        f"({len(outcome.evaluated)} evaluated, "
+        f"{len(outcome.failed)} failed)",
+        f"- enumeration: {outcome.enumeration.get('attempts', 0)} operator "
+        f"applications, {outcome.enumeration.get('duplicates', 0)} "
+        "structural duplicates dropped",
+        f"- non-dominated front: {len(outcome.front)} design(s)",
+        "",
+    ]
+    rejections = outcome.enumeration.get("rejections") or {}
+    if rejections:
+        lines.append("Rejections by validation rule:")
+        lines.append("")
+        for rule, count in sorted(rejections.items()):
+            lines.append(f"- `{rule}`: {count}")
+        lines.append("")
+
+    lines.append("## Pareto front (decode time × bus words × area proxy)")
+    lines.append("")
+    lines.append("| design | derived from | decode [ms] | bus words | area [slice eq.] |")
+    lines.append("|---|---|---:|---:|---:|")
+    for candidate in _front_sorted(outcome):
+        objectives = candidate.objectives
+        lines.append(
+            f"| {candidate.name} | {candidate.derived} "
+            f"| {_fmt_ms(objectives.decode_ms)} "
+            f"| {_fmt_words(objectives.bus_words)} "
+            f"| {_fmt_words(objectives.area)} |"
+        )
+    lines.append("")
+
+    lines.append("## The nine paper versions")
+    lines.append("")
+    lines.append(
+        "| version | label | decode [ms] | bus words | area [slice eq.] "
+        "| standing |"
+    )
+    lines.append("|---|---|---:|---:|---:|---|")
+    for candidate in outcome.candidates:
+        if candidate.source != "catalog":
+            continue
+        if candidate.objectives is None:
+            decode = words = area = "—"
+        else:
+            decode = _fmt_ms(candidate.objectives.decode_ms)
+            words = _fmt_words(candidate.objectives.bus_words)
+            area = _fmt_words(candidate.objectives.area)
+        if not candidate.mapped:
+            standing = "reference (application layer, unranked)"
+        elif candidate.on_front:
+            standing = "on the front"
+        else:
+            standing = "dominated"
+        lines.append(
+            f"| {candidate.name} | {candidate.spec.label} | {decode} "
+            f"| {words} | {area} | {standing} |"
+        )
+    lines.append("")
+    lines.append(
+        "Area numbers are slice-equivalent *proxies* (FOSSY filter "
+        "estimates plus structural constants, block RAMs folded in at "
+        "a fixed weight); see EXPERIMENTS.md for the caveats."
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_reports(outcome: ExplorationOutcome, out_dir) -> dict:
+    """Write all three artifacts into *out_dir*; returns their paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "markdown": out / MARKDOWN_NAME,
+        "csv": out / CSV_NAME,
+        "json": out / JSON_NAME,
+    }
+    paths["markdown"].write_text(render_markdown(outcome), encoding="utf-8")
+    paths["csv"].write_text(render_csv(outcome), encoding="utf-8")
+    paths["json"].write_text(render_json(outcome), encoding="utf-8")
+    return paths

@@ -1,0 +1,136 @@
+"""End-to-end exploration: enumerate → simulate → rank → report.
+
+One seeded ~20-candidate exploration runs twice against the same
+content-addressed cache: the cold run executes, the warm run must be
+served entirely from cache, and both must render byte-identical
+Markdown/CSV/JSON reports — the determinism claim of the explore CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.design import catalog
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import Runner
+from repro.explore import ExplorationConfig, explore, write_reports
+
+BUDGET = 11  # 9 catalog rows + 11 mutants ≈ 20 candidates
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    """The same exploration twice through one shared cache."""
+    cache_root = tmp_path_factory.mktemp("explore_cache")
+    config = ExplorationConfig(
+        budget=BUDGET, seed=SEED, lossless=True, num_tiles=4
+    )
+    cold = explore(config, Runner(jobs=0, cache=ResultCache(cache_root)))
+    warm = explore(config, Runner(jobs=0, cache=ResultCache(cache_root)))
+    return config, cold, warm
+
+
+class TestPopulation:
+    def test_all_nine_paper_versions_evaluated(self, runs):
+        _, cold, _ = runs
+        names = {c.name for c in cold.evaluated}
+        assert set(catalog.names()) <= names
+
+    def test_budget_of_valid_mutants_beyond_catalog(self, runs):
+        _, cold, _ = runs
+        generated = [c for c in cold.candidates if c.source == "generated"]
+        assert len(generated) == BUDGET
+        assert len(cold.candidates) == len(catalog.names()) + BUDGET
+        # every mutant is structurally distinct from every catalog row
+        digests = [c.digest for c in cold.candidates]
+        assert len(digests) == len(set(digests))
+
+    def test_mutants_carry_lineage_labels_and_spec_hashes(self, runs):
+        _, cold, _ = runs
+        for candidate in cold.candidates:
+            if candidate.source != "generated":
+                continue
+            assert candidate.derived != candidate.name
+            root = candidate.derived.split("~")[0]
+            assert root in catalog.names()
+            assert candidate.spec_hash
+
+    def test_front_is_non_empty_and_mapped_only(self, runs):
+        _, cold, _ = runs
+        assert cold.front
+        for candidate in cold.front:
+            assert candidate.mapped
+            assert candidate.on_front
+            assert candidate.objectives is not None
+
+    def test_front_members_are_mutually_non_dominating(self, runs):
+        from repro.explore import dominates
+
+        _, cold, _ = runs
+        vectors = [c.objectives.as_tuple() for c in cold.front]
+        for i, a in enumerate(vectors):
+            for j, b in enumerate(vectors):
+                if i != j:
+                    assert not dominates(a, b)
+
+    def test_paper_vta_rows_compete(self, runs):
+        _, cold, _ = runs
+        for name in ("6a", "6b", "7a", "7b"):
+            candidate = cold.candidate(name)
+            assert candidate.mapped
+            assert candidate.objectives is not None
+        for name in ("1", "2", "3", "4", "5"):
+            assert not cold.candidate(name).mapped
+
+
+class TestWarmCache:
+    def test_cold_executes_warm_hits(self, runs):
+        _, cold, warm = runs
+        assert any(c.executed for c in cold.candidates)
+        assert not any(c.executed for c in warm.candidates)
+        assert all(
+            c.cached for c in warm.candidates if c.failure is None
+        )
+
+    def test_outcomes_agree(self, runs):
+        _, cold, warm = runs
+        assert [c.name for c in cold.candidates] == [
+            c.name for c in warm.candidates
+        ]
+        assert [c.name for c in cold.front] == [c.name for c in warm.front]
+        for a, b in zip(cold.candidates, warm.candidates):
+            assert a.objectives == b.objectives
+            assert a.failure == b.failure
+
+
+class TestByteIdenticalReports:
+    def test_reports_identical_cold_vs_warm(self, runs, tmp_path):
+        _, cold, warm = runs
+        cold_paths = write_reports(cold, tmp_path / "cold")
+        warm_paths = write_reports(warm, tmp_path / "warm")
+        for kind in ("markdown", "csv", "json"):
+            assert (
+                cold_paths[kind].read_bytes() == warm_paths[kind].read_bytes()
+            ), f"{kind} report differs between cold and warm runs"
+
+    def test_json_report_shape(self, runs, tmp_path):
+        _, cold, _ = runs
+        paths = write_reports(cold, tmp_path / "shape")
+        document = json.loads(paths["json"].read_text(encoding="utf-8"))
+        assert document["config"]["budget"] == BUDGET
+        assert document["config"]["seed"] == SEED
+        assert document["population"]["candidates"] == len(cold.candidates)
+        assert len(document["catalog"]) == len(catalog.names())
+        assert len(document["front"]) == len(cold.front)
+        names = {entry["name"] for entry in document["candidates"]}
+        assert set(catalog.names()) <= names
+
+    def test_markdown_annotates_the_nine_versions(self, runs, tmp_path):
+        _, cold, _ = runs
+        paths = write_reports(cold, tmp_path / "md")
+        text = paths["markdown"].read_text(encoding="utf-8")
+        assert "## The nine paper versions" in text
+        for name in catalog.names():
+            assert f"| {name} |" in text
+        assert "reference (application layer, unranked)" in text

@@ -1,0 +1,168 @@
+"""Property tests for the mutation operators and the seeded enumerator.
+
+Four contracts back the design-space exploration:
+
+1. **Validity** — an operator application either yields a spec that
+   passes :func:`validate_spec` or a structured rejection carrying
+   machine-readable ``rule``/``path`` codes; never an invalid spec.
+2. **Determinism** — the same ``(seeds, budget, seed)`` triple
+   reproduces the identical population, lineage, and rejection profile.
+3. **Hash invariance** — the canonical structural hash ignores
+   ``name``/``label`` and survives ``as_dict``/``spec_from_dict``
+   round-trips and JSON key reordering.
+4. **Invertibility** — where ``invert`` reports an inverse, applying it
+   to the mutant recovers the original spec field-for-field.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.design import catalog, spec_from_dict, validate_spec
+from repro.design.mutate import (
+    canonical_hash,
+    canonicalise,
+    enumerate_designs,
+    operator_menu,
+)
+
+#: The mutable (VTA-layer) catalog rows — the enumeration seeds.
+VTA_NAMES = tuple(
+    name for name in catalog.names() if catalog.get(name).is_vta
+)
+
+
+@st.composite
+def spec_and_operator(draw):
+    """One catalog spec (possibly pre-mutated) and one menu operator."""
+    name = draw(st.sampled_from(VTA_NAMES))
+    spec = catalog.get(name)
+    # Optionally walk one mutation deep so operators also see
+    # non-catalog parents (e.g. ChannelToBus after ChannelToP2p).
+    hops = draw(st.integers(min_value=0, max_value=1))
+    for _ in range(hops):
+        menu = operator_menu(spec)
+        step = draw(st.sampled_from(menu))
+        outcome = step.apply(spec)
+        if outcome.ok:
+            spec = canonicalise(outcome.spec)
+    menu = operator_menu(spec)
+    operator = draw(st.sampled_from(menu))
+    return spec, operator
+
+
+class TestOperatorValidity:
+    @settings(max_examples=60, deadline=None)
+    @given(spec_and_operator())
+    def test_apply_yields_valid_spec_or_structured_rejection(self, pair):
+        spec, operator = pair
+        result = operator.apply(spec)
+        if result.ok:
+            assert validate_spec(result.spec) == []
+            # Canonical renaming never breaks validity.
+            assert validate_spec(canonicalise(result.spec)) == []
+        else:
+            assert result.spec is None
+            assert result.issues
+            for issue in result.issues:
+                assert isinstance(issue, str)
+                assert isinstance(issue.rule, str) and issue.rule
+                assert isinstance(issue.path, str) and issue.path
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(VTA_NAMES))
+    def test_menu_is_deterministic_and_never_identity(self, name):
+        spec = catalog.get(name)
+        menu = operator_menu(spec)
+        assert menu == operator_menu(spec)
+        source = canonical_hash(spec)
+        for operator in menu:
+            result = operator.apply(spec)
+            if result.ok:
+                assert canonical_hash(result.spec) != source
+
+
+class TestEnumerationDeterminism:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_same_seed_reproduces_population(self, seed, budget):
+        seeds = [catalog.get(name) for name in VTA_NAMES]
+        first = enumerate_designs(seeds, budget=budget, seed=seed)
+        second = enumerate_designs(seeds, budget=budget, seed=seed)
+        assert [s.name for s in first.generated] == [
+            s.name for s in second.generated
+        ]
+        assert first.generated == second.generated
+        assert first.rejections == second.rejections
+        assert first.attempts == second.attempts
+        assert first.duplicates == second.duplicates
+        digests = [canonical_hash(s) for s in first.generated]
+        assert [first.derived_label(d) for d in digests] == [
+            second.derived_label(d) for d in digests
+        ]
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_population_is_structurally_distinct_and_valid(self, seed):
+        seeds = [catalog.get(name) for name in VTA_NAMES]
+        result = enumerate_designs(seeds, budget=6, seed=seed)
+        digests = {canonical_hash(s) for s in result.seeds}
+        for mutant in result.generated:
+            assert validate_spec(mutant) == []
+            digest = canonical_hash(mutant)
+            assert digest not in digests  # no duplicate structures
+            digests.add(digest)
+            assert mutant.name == f"g{digest[:12]}"
+
+
+def _reorder_keys(value):
+    """Rebuild a JSON-ish structure with reversed key insertion order."""
+    if isinstance(value, dict):
+        return {
+            key: _reorder_keys(value[key]) for key in reversed(list(value))
+        }
+    if isinstance(value, list):
+        return [_reorder_keys(item) for item in value]
+    return value
+
+
+class TestCanonicalHash:
+    @settings(max_examples=40, deadline=None)
+    @given(spec_and_operator())
+    def test_hash_survives_round_trip_and_reordering(self, pair):
+        spec, operator = pair
+        result = operator.apply(spec)
+        for candidate in filter(None, (spec, result.spec)):
+            digest = canonical_hash(candidate)
+            rebuilt = spec_from_dict(candidate.as_dict())
+            assert rebuilt == candidate
+            assert canonical_hash(rebuilt) == digest
+            shuffled = spec_from_dict(_reorder_keys(candidate.as_dict()))
+            assert canonical_hash(shuffled) == digest
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(VTA_NAMES), st.text(min_size=1, max_size=12))
+    def test_hash_ignores_name_and_label(self, name, alias):
+        spec = catalog.get(name)
+        renamed = replace(spec, name=alias, label=f"alias {alias}")
+        assert canonical_hash(renamed) == canonical_hash(spec)
+        assert canonicalise(renamed) == canonicalise(spec)
+
+
+class TestInvertibility:
+    @settings(max_examples=60, deadline=None)
+    @given(spec_and_operator())
+    def test_declared_inverse_recovers_original(self, pair):
+        spec, operator = pair
+        inverse = operator.invert(spec)
+        if inverse is None:
+            return
+        forward = operator.apply(spec)
+        assert forward.ok
+        back = inverse.apply(forward.spec)
+        assert back.ok
+        assert back.spec == spec
+        assert canonical_hash(back.spec) == canonical_hash(spec)

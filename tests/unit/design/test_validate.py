@@ -120,3 +120,88 @@ class TestRejections:
         broken = _with_mapping(spec, processors=())
         with pytest.raises(SpecValidationError):
             elaborate_design(broken, paper_workload(True))
+
+
+class TestMachineReadableCodes:
+    """Every issue is still a plain string, but carries ``rule``/``path``
+    codes so the enumerator can classify rejections without parsing
+    prose."""
+
+    def test_issues_are_strings_with_rule_and_path(self):
+        spec = catalog.get("7b")
+        broken = _with_mapping(spec, processors=spec.mapping.processors[:-1])
+        errors = validate_spec(broken)
+        assert errors
+        for error in errors:
+            assert isinstance(error, str)
+            assert isinstance(error.rule, str) and "." in error.rule
+            assert isinstance(error.path, str) and error.path
+            record = error.as_dict()
+            assert record["message"] == str(error)
+            assert record["rule"] == error.rule
+            assert record["path"] == error.path
+
+    def test_unmapped_task_code(self):
+        spec = catalog.get("7b")
+        broken = _with_mapping(spec, processors=spec.mapping.processors[:-1])
+        issues = {e.rule for e in validate_spec(broken)}
+        assert "tasks.unmapped" in issues
+
+    def test_duplicate_name_code_and_path(self):
+        spec = catalog.get("4")
+        tasks = spec.tasks[:-1] + (replace(spec.tasks[0],),)
+        errors = validate_spec(replace(spec, tasks=tasks))
+        error = next(e for e in errors if e.rule == "names.duplicate")
+        assert "sw0" in error.path
+
+    def test_dangling_endpoint_code_names_the_link(self):
+        spec = catalog.get("6b")
+        links = tuple(
+            replace(link, channel="ghost") if link.client == "idwt53" and
+            link.port == "store" else link
+            for link in spec.mapping.links
+        )
+        errors = validate_spec(_with_mapping(spec, links=links))
+        error = next(
+            e for e in errors if e.rule == "channels.dangling-endpoint"
+        )
+        assert "idwt53" in error.path
+
+    def test_polling_codes(self):
+        spec = catalog.get("6a")
+        links = tuple(
+            replace(link, poll_cycles=None) if link.client == "sw0" else link
+            for link in spec.mapping.links
+        )
+        issues = {e.rule for e in validate_spec(_with_mapping(spec, links=links))}
+        assert "channels.poll-required" in issues
+
+    def test_over_capacity_memory_code(self):
+        spec = catalog.get("6b")
+        memory = replace(spec.memories[0], depth_words=1000)
+        errors = validate_spec(replace(spec, memories=(memory,)))
+        assert any(e.rule == "memories.over-capacity" for e in errors)
+
+    def test_pipeline_window_rule(self):
+        from repro.design.validate import PIPELINE_SLOTS_PER_TASK
+
+        spec = catalog.get("7b")  # 4 pipelined tasks → needs 16 slots
+        store = next(
+            s for s in spec.shared_objects if s.behaviour == "tile_store"
+        )
+        too_small = PIPELINE_SLOTS_PER_TASK * len(spec.tasks) - 1
+        shared = tuple(
+            replace(s, capacity=too_small) if s.name == store.name else s
+            for s in spec.shared_objects
+        )
+        errors = validate_spec(replace(spec, shared_objects=shared))
+        error = next(
+            e for e in errors if e.rule == "capacity.pipeline-window"
+        )
+        assert store.name in error.path
+        # ...and the catalog size passes by exactly the window margin.
+        assert validate_spec(spec) == []
+
+    def test_valid_specs_emit_no_codes_at_all(self):
+        for name in catalog.names():
+            assert validate_spec(catalog.get(name)) == []

@@ -80,6 +80,8 @@ class TestCacheKey:
 
         ``experiments`` machinery is covered via EXTRA_FILES,
         ``reporting`` only renders tables from payloads (never cached),
+        ``explore`` only ranks and reports payloads post-hoc (objective
+        extraction and the area proxy run outside the cached cell),
         ``tools`` only reads benchmark baselines and ledger records
         (never executes experiments), and ``fossy`` joins for synthesis
         kinds — everything else must be in DEFAULT_SUBSYSTEMS or edits
@@ -89,7 +91,8 @@ class TestCacheKey:
         runtime = {
             path.name for path in root.iterdir()
             if path.is_dir() and path.name not in
-            {"experiments", "reporting", "fossy", "tools", "__pycache__"}
+            {"experiments", "reporting", "explore", "tools", "fossy",
+             "__pycache__"}
         }
         assert runtime <= set(fp.DEFAULT_SUBSYSTEMS)
 

@@ -1,0 +1,150 @@
+"""Unit tests for the exploration maths: dominance, fronts, objectives,
+and the area proxy."""
+
+import math
+
+import pytest
+
+from repro.design import catalog
+from repro.design.mutate import SetProcessorCount, canonicalise
+from repro.explore import (
+    ObjectiveVector,
+    area_proxy,
+    dominates,
+    objectives_from,
+    pareto_front,
+)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_in_one_equal_in_rest(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_trade_off_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    def test_hand_built_front(self):
+        points = [
+            (1.0, 5.0),  # front
+            (2.0, 4.0),  # front
+            (3.0, 6.0),  # dominated by (2, 4)? no: 6 > 4 → dominated
+            (2.5, 4.0),  # dominated by (2, 4)
+            (5.0, 1.0),  # front
+        ]
+        assert pareto_front(points) == [(1.0, 5.0), (2.0, 4.0), (5.0, 1.0)]
+
+    def test_single_point_is_its_own_front(self):
+        assert pareto_front([(3.0, 3.0)]) == [(3.0, 3.0)]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_input_order_is_stable(self):
+        points = [(5.0, 1.0), (1.0, 5.0), (3.0, 3.0)]
+        assert pareto_front(points) == points
+
+    def test_duplicate_vectors_all_survive(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_front(points) == [(1.0, 1.0), (1.0, 1.0)]
+
+    def test_key_extraction(self):
+        items = [{"v": (2.0, 2.0)}, {"v": (1.0, 1.0)}]
+        front = pareto_front(items, key=lambda item: item["v"])
+        assert front == [{"v": (1.0, 1.0)}]
+
+    def test_nan_rejected_loudly(self):
+        with pytest.raises(ValueError, match="NaN"):
+            pareto_front([(1.0, float("nan"))])
+
+    def test_one_dominator_collapses_front(self):
+        points = [(2.0, 2.0, 2.0), (1.0, 1.0, 1.0), (3.0, 1.5, 2.0)]
+        assert pareto_front(points) == [(1.0, 1.0, 1.0)]
+
+
+class TestObjectives:
+    def _payload(self, decode_ms=10.0, words=100.0):
+        return {
+            "decode_ms": decode_ms,
+            "details": {"opb": {"words": words}},
+        }
+
+    def test_vector_from_payload(self):
+        spec = catalog.get("6b")
+        vector = objectives_from(spec, self._payload(12.5, 4096.0))
+        assert vector.decode_ms == 12.5
+        assert vector.bus_words == 4096.0
+        assert vector.area == float(area_proxy(spec).slice_equivalents)
+        assert vector.as_tuple() == (
+            vector.decode_ms,
+            vector.bus_words,
+            vector.area,
+        )
+
+    def test_missing_bus_details_mean_zero_words(self):
+        spec = catalog.get("3")
+        vector = objectives_from(spec, {"decode_ms": 5.0})
+        assert vector.bus_words == 0.0
+
+    def test_failed_payload_raises(self):
+        spec = catalog.get("6b")
+        with pytest.raises(ValueError, match="failed"):
+            objectives_from(spec, {"failed": {"error": "ValueError"}})
+
+    def test_non_finite_decode_raises(self):
+        spec = catalog.get("6b")
+        with pytest.raises(ValueError, match="non-finite"):
+            objectives_from(spec, self._payload(decode_ms=math.inf))
+
+    def test_as_dict_round_trip(self):
+        vector = ObjectiveVector(1.0, 2.0, 3.0)
+        assert vector.as_dict() == {
+            "decode_ms": 1.0,
+            "bus_words": 2.0,
+            "area": 3.0,
+        }
+
+
+class TestAreaProxy:
+    def test_deterministic(self):
+        assert area_proxy(catalog.get("7b")) == area_proxy(catalog.get("7b"))
+
+    def test_application_layer_counts_one_implicit_cpu(self):
+        proxy = area_proxy(catalog.get("1"))
+        assert proxy.cpus == 1
+        assert proxy.brams == 0
+
+    def test_cpus_track_the_mapping(self):
+        assert area_proxy(catalog.get("6b")).cpus == 1
+        assert area_proxy(catalog.get("7b")).cpus == 4
+
+    def test_more_processors_cost_more_fabric(self):
+        one = area_proxy(catalog.get("6b"))
+        four = area_proxy(catalog.get("7b"))
+        assert four.slices > one.slices
+        assert four.slice_equivalents > one.slice_equivalents
+
+    def test_slice_equivalents_fold_brams(self):
+        proxy = area_proxy(catalog.get("6b"))
+        assert proxy.brams > 0
+        assert proxy.slice_equivalents == proxy.slices + 128 * proxy.brams
+
+    def test_mutated_spec_pays_for_added_processors(self):
+        base = catalog.get("7a")
+        result = SetProcessorCount(8).apply(base)
+        assert result.ok
+        grown = canonicalise(result.spec)
+        assert area_proxy(grown).cpus == 8
+        assert area_proxy(grown).slices > area_proxy(base).slices
