@@ -344,6 +344,7 @@ def _profile_decode(args) -> int:
     _ledger_append(
         "decode", f"{size}x{size}/{'lossy' if args.lossy else 'lossless'}",
         schedule=schedule,
+        plan_hash=decoder.plan.digest(),
         wall_seconds=elapsed,
         metrics=recorder.metrics.as_dict(),
         **_parallel_health(recorder),
@@ -360,6 +361,7 @@ def _profile_decode(args) -> int:
             "mode": "lossy" if args.lossy else "lossless",
             "seconds": round(elapsed, 4),
             "schedule": schedule,
+            "plan": decoder.plan.digest(),
             "stage_shares": {k: round(v, 4) for k, v in shares.items()},
         }, sys.stdout, indent=2)
         print()
@@ -371,6 +373,58 @@ def _profile_decode(args) -> int:
     print(f"wall time: {elapsed:.3f} s")
     for stage, share in sorted(shares.items(), key=lambda kv: -kv[1]):
         print(f"{stage:<12} {100.0 * share:6.2f}%")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """Compile, validate, and print the decode plan for a schedule.
+
+    Byte-deterministic output (the human-readable table, then the
+    canonical JSON the digest hashes), so transcripts can be diffed and
+    CI can pin them.  ``--cpus`` / ``--assume-no-shm`` override the
+    detected environment to answer "what would this host compile?".
+    """
+    from .jpeg2000.options import DecodeOptions
+    from .jpeg2000.plan import PlanEnvironment, compile_plan, validate_plan
+
+    options = DecodeOptions(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        kernel=args.kernel,
+        shared_memory=not args.no_shared_memory,
+        start_method=args.start_method,
+        oversubscribe=args.oversubscribe,
+        tier2=args.tier2,
+        overlap=not args.no_overlap,
+    )
+    detected = PlanEnvironment.detect()
+    env = PlanEnvironment(
+        cpu_count=args.cpus if args.cpus is not None else detected.cpu_count,
+        shared_memory_available=(
+            False if args.assume_no_shm else detected.shared_memory_available
+        ),
+    )
+    plan = compile_plan(options, env)
+    issues = validate_plan(plan, env)
+    if issues:  # compilation is total; this guards future planner drift
+        for issue in issues:
+            print(f"[{issue.rule}] {issue.path}: {issue}", file=sys.stderr)
+        return 1
+    _ledger_append(
+        "plan", "decode",
+        plan_hash=plan.digest(),
+        options=options.as_dict(),
+        environment={
+            "cpu_count": env.cpu_count,
+            "shared_memory_available": env.shared_memory_available,
+        },
+    )
+    if args.json:
+        print(plan.canonical_json())
+        return 0
+    print(plan.describe())
+    print()
+    print(plan.canonical_json())
     return 0
 
 
@@ -855,6 +909,43 @@ def main(argv=None) -> int:
                         "in Prometheus text exposition format")
     add_events_option(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_plan = sub.add_parser(
+        "plan", help="compile and print the validated decode plan "
+        "for a schedule (no decode runs)")
+    p_plan.add_argument("target", choices=["decode"],
+                        help="what to plan (only 'decode' today)")
+    p_plan.add_argument("--workers", default=0, metavar="N",
+                        type=lambda value:
+                        None if value == "auto" else int(value),
+                        help="worker processes; 0 = sequential, "
+                        "'auto' = one per CPU (default 0)")
+    p_plan.add_argument("--chunk-size", type=int, default=8,
+                        help="max code blocks per work unit (default 8)")
+    p_plan.add_argument("--kernel", default="fast",
+                        choices=["fast", "batched", "reference"],
+                        help="Tier-1 kernel (default fast)")
+    p_plan.add_argument("--tier2", default="fast",
+                        choices=["fast", "reference"],
+                        help="Tier-2 parser (default fast)")
+    p_plan.add_argument("--start-method", default=None,
+                        choices=["fork", "spawn", "forkserver"],
+                        help="pool start method (default: platform)")
+    p_plan.add_argument("--no-shared-memory", action="store_true",
+                        help="forbid the zero-copy arena transport")
+    p_plan.add_argument("--no-overlap", action="store_true",
+                        help="disable the streaming (overlapped) schedule")
+    p_plan.add_argument("--oversubscribe", action="store_true",
+                        help="allow more workers than CPUs")
+    p_plan.add_argument("--cpus", type=int, default=None,
+                        help="plan for a host with N CPUs "
+                        "(default: detect)")
+    p_plan.add_argument("--assume-no-shm", action="store_true",
+                        help="plan for a host without "
+                        "multiprocessing.shared_memory")
+    p_plan.add_argument("--json", action="store_true",
+                        help="print only the canonical plan JSON")
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_trace = sub.add_parser("trace", help="simulate one version and export "
                              "a Chrome/Perfetto trace")

@@ -60,7 +60,7 @@ def _dispatch(request: RunRequest) -> dict:
     if request.kind == KIND_SIMULATE:
         return _simulate(request.params, request.options)
     if request.kind == KIND_PROFILE:
-        return _profile_decode(request.params)
+        return _profile_decode(request.params, request.options)
     if request.kind == KIND_LAYERS:
         return _layers_decode(request.params)
     if request.kind == KIND_SYNTHESISE:
@@ -243,13 +243,21 @@ def _telemetry_summary(recorder, profiler) -> dict:
 # --------------------------------------------------------------------------
 
 
-def _profile_decode(params: dict) -> dict:
+def _profile_decode(params: dict, options: Optional[dict] = None) -> dict:
     from ..jpeg2000 import (
         CodingParameters,
+        DecodeOptions,
         Jpeg2000Decoder,
         encode_image,
         synthetic_image,
     )
+
+    decode_options = None
+    decode = (options or {}).get("decode")
+    if decode is not None:
+        if not isinstance(decode, DecodeOptions):
+            decode = DecodeOptions.from_dict(dict(decode))
+        decode_options = decode
 
     size = int(params["size"])
     tile = int(params["tile"])
@@ -265,9 +273,11 @@ def _profile_decode(params: dict) -> dict:
         lossless=lossless,
         base_step=1 / 8,
     )
-    decoder = Jpeg2000Decoder(encode_image(image, coding))
+    decoder = Jpeg2000Decoder(
+        encode_image(image, coding), options=decode_options
+    )
     decoder.decode()
-    return {"ops": dict(decoder.ops.counts)}
+    return {"ops": dict(decoder.ops.counts), "plan": decoder.plan.digest()}
 
 
 # --------------------------------------------------------------------------

@@ -197,6 +197,27 @@ def workload_descriptor(request: RunRequest) -> dict:
     return {"workload": request.kind, **request.params}
 
 
+def normalised_options(options: dict) -> dict:
+    """*options* with any decode schedule in canonical form.
+
+    ``options["decode"]`` is a
+    :class:`~repro.jpeg2000.options.DecodeOptions` value (or its dict
+    form, possibly partial).  Fingerprinting its ``as_dict()`` rather
+    than whatever the caller wrote means two requests asking for the
+    same schedule — one spelling out the defaults, one omitting them —
+    land in the same cache cell, and every real field flip still
+    misses.
+    """
+    decode = options.get("decode")
+    if decode is None:
+        return options
+    from ..jpeg2000.options import DecodeOptions
+
+    if not isinstance(decode, DecodeOptions):
+        decode = DecodeOptions.from_dict(dict(decode))
+    return {**options, "decode": decode.as_dict()}
+
+
 def cache_key(request: RunRequest) -> Optional[CacheKey]:
     """Content address of *request*; ``None`` for uncacheable kinds."""
     if not request.cacheable:
@@ -208,7 +229,7 @@ def cache_key(request: RunRequest) -> Optional[CacheKey]:
     material = {
         "kind": request.kind,
         "params": request.params,
-        "options": request.options,
+        "options": normalised_options(request.options),
         "spec": spec_digest,
         "workload": workload_digest,
         "code": code,

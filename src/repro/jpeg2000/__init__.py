@@ -5,6 +5,14 @@ syntax, MQ arithmetic coding, EBCOT Tier-1/Tier-2, tag trees, de/quantisation,
 5/3 and 9/7 lifting wavelet transforms, colour transforms and DC shift,
 assembled into an encoder (to fabricate test material) and the decoder whose
 five stages (Fig. 1) the OSSS models distribute across hardware and software.
+
+Decoding is plan-driven: :func:`compile_plan` turns a
+:class:`DecodeOptions` value (plus the host environment) into an
+explicit, statically validated :class:`DecodePlan` — stages
+``parse → entropy → reconstruct → assemble``, each bound to an
+implementation and an executor — which the decoder executes.  The
+legacy :mod:`~repro.jpeg2000.parallel` entry points remain as
+deprecation shims.
 """
 
 from .codestream import (
@@ -16,15 +24,30 @@ from .codestream import (
 )
 from .decoder import DecodingError, Jpeg2000Decoder, TileStages, decode_codestream
 from .encoder import EncodingError, Jpeg2000Encoder, encode_image
-from .parallel import (
+from .options import (
     KERNEL_BATCHED,
     KERNEL_FAST,
     KERNEL_REFERENCE,
     BlockSpec,
     DecodeOptions,
     ParallelDegradedWarning,
+)
+from .plan import (
+    DecodePlan,
+    ExecutorSpec,
+    PlanEnvironment,
+    PlanIssue,
+    PlanValidationError,
+    StageBinding,
+    check_plan,
+    compile_plan,
+    options_for_plan,
+    validate_plan,
+)
+from .parallel import (
     decode_blocks,
     decode_blocks_spec,
+    open_spec_stream,
     shutdown_pool,
 )
 from .image import Image, TileGrid, synthetic_image
@@ -45,8 +68,10 @@ __all__ = [
     "CodestreamError",
     "CodingParameters",
     "DecodeOptions",
+    "DecodePlan",
     "DecodingError",
     "EncodingError",
+    "ExecutorSpec",
     "Image",
     "Jpeg2000Decoder",
     "Jpeg2000Encoder",
@@ -54,23 +79,32 @@ __all__ = [
     "KERNEL_FAST",
     "KERNEL_REFERENCE",
     "ParallelDegradedWarning",
+    "PlanEnvironment",
+    "PlanIssue",
+    "PlanValidationError",
     "STAGE_ARITH",
     "STAGE_DC",
     "STAGE_ICT",
     "STAGE_IDWT",
     "STAGE_IQ",
+    "StageBinding",
     "StageOps",
     "TileGrid",
     "TilePart",
     "TileStages",
     "TranscodeError",
+    "check_plan",
+    "compile_plan",
     "decode_blocks",
     "decode_blocks_spec",
     "decode_codestream",
     "drop_layers",
     "encode_image",
+    "open_spec_stream",
+    "options_for_plan",
     "parse_codestream",
     "shutdown_pool",
     "synthetic_image",
+    "validate_plan",
     "write_codestream",
 ]

@@ -7,6 +7,16 @@ transform (ICT/RCT) and DC level shift.  Stage boundaries are explicit —
 OSSS case-study models distribute exactly these stages between software
 tasks and hardware Shared Objects.
 
+Decoding is *plan-driven*: the caller's
+:class:`~repro.jpeg2000.options.DecodeOptions` (or an explicit
+:class:`~repro.jpeg2000.plan.DecodePlan`) is compiled and statically
+validated up front, and the plan is executed by the
+:mod:`~repro.jpeg2000.driver` over the stage modules
+(:mod:`~repro.jpeg2000.stages`) — the same plan → validate → execute
+discipline the paper's seamless refinement applies to the hardware
+design, and the reason no decode path here hides behind an ``if``
+ladder.
+
 Every stage reports basic-operation counts (see ``pipeline.StageOps``)
 used by the profiling model that reconstructs Fig. 1.
 """
@@ -16,18 +26,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
 from .. import telemetry
-from . import dwt, mct, quant
+from . import driver as plan_driver
 from .codestream import (
     Codestream,
     CodingParameters,
-    PROGRESSION_RLCP,
     parse_codestream,
 )
-from .encoder import _progression, decomposition_level, subband_order
+from .errors import DecodingError
 from .image import Image, TileGrid
+from .options import (
+    DEFAULT_OPTIONS,
+    DecodeOptions,
+    _warn_degraded,
+)
 from .pipeline import (
     STAGE_ARITH,
     STAGE_DC,
@@ -36,35 +48,36 @@ from .pipeline import (
     STAGE_IQ,
     StageOps,
 )
-from .bitio import ff_positions
-from .parallel import (
-    DEFAULT_OPTIONS,
-    TIER2_REFERENCE,
-    BlockSpec,
-    DecodeOptions,
-    decode_blocks_spec,
-    open_spec_stream,
+from .plan import (
+    STAGE_ASSEMBLE,
+    STAGE_ENTROPY,
+    DecodePlan,
+    check_plan,
+    compile_plan,
+    options_for_plan,
 )
-from .structure import band_shapes, codeblock_grid
-from .t2 import CodeBlockContribution, PacketBand, consume_sop, decode_packet
+from .stages import assemble as assemble_stage
+from .stages import entropy as entropy_stage
+from .stages import parse as parse_stage
+from .stages import reconstruct as reconstruct_stage
+from .stages.reconstruct import DecodedBand
 
-
-class DecodingError(RuntimeError):
-    """The codestream is structurally valid but cannot be decoded."""
-
-
-@dataclass
-class DecodedBand:
-    """One subband's coefficient plane after entropy decoding."""
-
-    resolution: int
-    orientation: str
-    indices: np.ndarray  # signed quantisation indices
+#: Legacy import sites (transcode, tests) get these from here.
+qcd_delta = parse_stage.qcd_delta
+_band_bounds = parse_stage.band_bounds
 
 
 @dataclass
 class TileStages:
-    """Stage-by-stage decoder for one tile (the OSSS models drive this)."""
+    """Stage-by-stage decoder for one tile (the OSSS models drive this).
+
+    The methods are thin seams over the stage modules
+    (:mod:`~repro.jpeg2000.stages`): each one binds this tile's coding
+    parameters, buffer, and op accumulator to the corresponding stage
+    function, so the OSSS models (and the tests) can still drive the
+    pipeline one stage at a time while the driver schedules the same
+    functions from a compiled plan.
+    """
 
     params: CodingParameters
     tile_width: int
@@ -87,160 +100,46 @@ class TileStages:
     def entropy_specs(self) -> tuple:
         """Tier-2 only: parse every packet, describe every code block.
 
-        Returns ``(layout, specs)``: *layout* is the per-component band
-        dict (the Tier-2 protocol state, needed again by
-        :meth:`scatter_entropy`) and *specs* is the tile's
-        :class:`~repro.jpeg2000.parallel.BlockSpec` list in scatter
-        order.  The packet bodies are left in place — the specs carry
-        ``(start, end)`` segment spans into ``self.data``
-        (``decode_packet(..., materialise=False)``), so the tile buffer
-        can be placed into a shared-memory arena without per-block
-        copies.  Tier-1 itself runs in
-        :func:`~repro.jpeg2000.parallel.decode_blocks_spec`.
+        Returns ``(layout, specs)``; see
+        :func:`repro.jpeg2000.stages.parse.entropy_specs`.
         """
-        params = self.params
-        shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
-        bounds = _band_bounds(params)
-        # Tier-2 parser selection: the fast path shares one NumPy scan
-        # for the 0xFF stuffing boundaries across every packet of the
-        # tile and decodes tag trees over flat arrays.  Bit-for-bit
-        # identical to the reference parse.
-        fast_t2 = self.options.tier2 != TIER2_REFERENCE
-        ff_index = ff_positions(self.data) if fast_t2 else None
-        per_component_bands: list[dict] = []
-        for _ in range(params.num_components):
-            bands: dict[tuple[int, str], PacketBand] = {}
-            for shape in shapes:
-                bands[(shape.resolution, shape.orientation)] = PacketBand(
-                    orientation=shape.orientation,
-                    band_width=shape.width,
-                    band_height=shape.height,
-                    cb_size=params.codeblock_size,
-                    blocks=[
-                        CodeBlockContribution(geometry=geo)
-                        for geo in codeblock_grid(
-                            shape.width, shape.height, params.codeblock_size
-                        )
-                    ],
-                    fast=fast_t2,
-                )
-            per_component_bands.append(bands)
-        offset = 0
-        packet_sequence = 0
-        max_layers = params.num_layers
-        if self.max_layers is not None:
-            if params.progression == PROGRESSION_RLCP:
-                raise DecodingError(
-                    "layer truncation needs the LRCP progression; this "
-                    "codestream is RLCP (use max_resolution instead)"
-                )
-            max_layers = min(max_layers, self.max_layers)
-        for layer, resolution in _progression(params):
-            if layer >= max_layers:
-                break
-            if (
-                self.max_resolution is not None
-                and params.progression == PROGRESSION_RLCP
-                and resolution > self.max_resolution
-            ):
-                break  # RLCP: everything beyond is a discardable suffix
-            for comp_index in range(params.num_components):
-                bands = per_component_bands[comp_index]
-                packet_bands = [
-                    band
-                    for (res, _), band in bands.items()
-                    if res == resolution
-                ]
-                res_bounds = {
-                    orientation: bound
-                    for (res, orientation), bound in bounds.items()
-                    if res == resolution
-                }
-                if params.use_sop:
-                    offset = consume_sop(self.data, offset, packet_sequence)
-                offset = decode_packet(
-                    self.data, offset, packet_bands, res_bounds, layer,
-                    use_eph=params.use_eph, materialise=False,
-                    fast=fast_t2, ff_index=ff_index,
-                )
-                packet_sequence += 1
-        # Every code block is an independent decode task; describe them
-        # all (across components and subbands) as segment-span specs in
-        # the fixed scatter order.
-        specs: list[BlockSpec] = []
-        for comp_index in range(params.num_components):
-            bands = per_component_bands[comp_index]
-            for shape in shapes:
-                for block in bands[(shape.resolution, shape.orientation)].blocks:
-                    geo = block.geometry
-                    specs.append(BlockSpec(
-                        geo.width,
-                        geo.height,
-                        shape.orientation,
-                        block.num_bitplanes,
-                        block.num_passes,
-                        tuple(block.segments),
-                    ))
-        return per_component_bands, specs
+        return parse_stage.entropy_specs(
+            self.params, self.tile_width, self.tile_height, self.data,
+            tier2=self.options.tier2,
+            max_layers=self.max_layers,
+            max_resolution=self.max_resolution,
+        )
 
     def block_sizes(self) -> list:
-        """Every code block's sample count in scatter order.
-
-        Pure geometry — no packet is parsed — so the streaming decode
-        path can size and lay out its shared output arena before Tier-2
-        has read a single bit.  Matches the spec order of
-        :meth:`entropy_specs` exactly.
-        """
-        params = self.params
-        shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
-        sizes = []
-        for _ in range(params.num_components):
-            for shape in shapes:
-                for geo in codeblock_grid(
-                    shape.width, shape.height, params.codeblock_size
-                ):
-                    sizes.append(geo.width * geo.height)
-        return sizes
+        """Every code block's sample count in scatter order (geometry
+        only); see :func:`repro.jpeg2000.stages.parse.block_sizes`."""
+        return parse_stage.block_sizes(
+            self.params, self.tile_width, self.tile_height
+        )
 
     def scatter_entropy(
         self, layout: list, flat, offsets, ops: list, first: int = 0
     ) -> list:
-        """Scatter a ``decode_blocks_spec`` result into band planes.
-
-        ``first`` is this tile's first block index within *flat* —
-        non-zero when the decoder batched several tiles' blocks into one
-        fan-out.  Returns the per-component :class:`DecodedBand` lists
-        and accumulates the per-block op counts into ``self.ops``.
-        """
-        params = self.params
-        shapes = band_shapes(self.tile_width, self.tile_height, params.num_levels)
-        components: list[list[DecodedBand]] = []
-        index = first
-        for comp_index in range(params.num_components):
-            bands = layout[comp_index]
-            decoded: list[DecodedBand] = []
-            for shape in shapes:
-                band = bands[(shape.resolution, shape.orientation)]
-                plane = np.zeros((shape.height, shape.width), dtype=np.int64)
-                for block in band.blocks:
-                    geo = block.geometry
-                    start = int(offsets[index])
-                    self.ops.add(STAGE_ARITH, ops[index])
-                    plane[
-                        geo.y0 : geo.y0 + geo.height, geo.x0 : geo.x0 + geo.width
-                    ] = flat[start : start + geo.width * geo.height].reshape(
-                        geo.height, geo.width
-                    )
-                    index += 1
-                decoded.append(DecodedBand(shape.resolution, shape.orientation, plane))
-            components.append(decoded)
-        return components
+        """Scatter an entropy-stage result into band planes; see
+        :func:`repro.jpeg2000.stages.reconstruct.scatter_entropy`."""
+        return reconstruct_stage.scatter_entropy(
+            self.params, self.tile_width, self.tile_height,
+            layout, flat, offsets, ops, self.ops, first,
+        )
 
     def entropy_decode(self) -> list:
         """Per component, the list of :class:`DecodedBand` planes."""
+        if self.options.degraded:
+            _warn_degraded(
+                self.options.requested_workers,
+                self.options.effective_workers,
+                "clamped to os.cpu_count()",
+            )
         layout, specs = self.entropy_specs()
-        flat, offsets, ops = decode_blocks_spec(
-            [self.data], [(0, spec) for spec in specs], self.options
+        binding = compile_plan(self.options).stage(STAGE_ENTROPY)
+        flat, offsets, ops = entropy_stage.run_specs(
+            [self.data], [(0, spec) for spec in specs], binding,
+            schedule=self.options.schedule_info(),
         )
         return self.scatter_entropy(layout, flat, offsets, ops)
 
@@ -248,107 +147,31 @@ class TileStages:
 
     def dequantise(self, decoded_bands: list) -> list:
         """Per component, the dequantised :class:`~repro.jpeg2000.dwt.Subbands`."""
-        params = self.params
-        result = []
-        for component in decoded_bands:
-            ll: Optional[np.ndarray] = None
-            level_quads: dict[int, dict[str, np.ndarray]] = {}
-            for band in component:
-                if (
-                    self.max_resolution is not None
-                    and band.resolution > self.max_resolution
-                ):
-                    continue  # resolution-truncated reconstruction
-                self.ops.add(STAGE_IQ, band.indices.size)
-                if params.lossless:
-                    values = band.indices
-                else:
-                    # The step size comes from the parsed QCD segment — the
-                    # codestream is self-contained, no side channel.
-                    values = quant.dequantise(
-                        band.indices,
-                        qcd_delta(params, band.resolution, band.orientation),
-                    )
-                if band.resolution == 0:
-                    ll = values
-                else:
-                    level_quads.setdefault(band.resolution, {})[band.orientation] = values
-            levels = [
-                level_quads[res]
-                for res in sorted(level_quads.keys(), reverse=True)
-            ]
-            result.append(dwt.Subbands(ll, levels, params.transform))
-        return result
+        return reconstruct_stage.dequantise(
+            self.params, decoded_bands, self.ops, self.max_resolution
+        )
 
     # -- stage 3: inverse DWT ----------------------------------------------------------
 
     def inverse_dwt(self, subbands_per_component: list) -> list:
-        planes = []
-        for subbands in subbands_per_component:
-            counts = dwt.DwtOpCounts()
-            planes.append(dwt.inverse(subbands, counts))
-            self.ops.add(STAGE_IDWT, counts.total)
-        return planes
+        return reconstruct_stage.inverse_dwt(subbands_per_component, self.ops)
 
     # -- stage 4: inverse colour transform ----------------------------------------------
 
     def inverse_mct(self, planes: list) -> list:
-        params = self.params
-        if not params.use_mct:
-            return planes
-        if params.lossless:
-            r, g, b = mct.rct_inverse(
-                np.rint(planes[0]).astype(np.int64),
-                np.rint(planes[1]).astype(np.int64),
-                np.rint(planes[2]).astype(np.int64),
-            )
-        else:
-            r, g, b = mct.ict_inverse(planes[0], planes[1], planes[2])
-        self.ops.add(STAGE_ICT, 3 * planes[0].size)
-        return [r, g, b] + list(planes[3:])
+        return reconstruct_stage.inverse_mct(self.params, planes, self.ops)
 
     # -- stage 5: DC level shift ----------------------------------------------------------
 
     def dc_shift(self, planes: list) -> list:
-        params = self.params
-        out = []
-        for plane in planes:
-            out.append(mct.dc_shift_inverse(plane, params.bit_depth))
-            self.ops.add(STAGE_DC, plane.size)
-        return out
+        return reconstruct_stage.dc_shift(self.params, planes, self.ops)
 
     # -- fused stages 4+5 ---------------------------------------------------------------
 
     def finish_mct_dc(self, planes: list) -> list:
-        """Fused inverse colour transform + DC shift, one pass per plane.
-
-        Value- and op-count-identical to :meth:`inverse_mct` followed by
-        :meth:`dc_shift` (see the fused kernels in
-        :mod:`repro.jpeg2000.mct`); the batched reconstruction path uses
-        this so each tile plane is traversed once instead of three
-        times.
-        """
-        params = self.params
-        if params.use_mct:
-            if params.lossless:
-                fused = mct.rct_dc_inverse(
-                    planes[0], planes[1], planes[2], params.bit_depth
-                )
-            else:
-                fused = mct.ict_dc_inverse(
-                    planes[0], planes[1], planes[2], params.bit_depth
-                )
-            self.ops.add(STAGE_ICT, 3 * planes[0].size)
-            out = list(fused)
-            rest = planes[3:]
-        else:
-            out = []
-            rest = planes
-        for plane in rest:
-            out.append(mct.dc_shift_inverse(plane, params.bit_depth))
-        for plane in planes:
-            self.ops.add(STAGE_DC, plane.size)
-        return out
+        """Fused inverse colour transform + DC shift, one pass per plane;
+        see :func:`repro.jpeg2000.stages.reconstruct.finish_mct_dc`."""
+        return reconstruct_stage.finish_mct_dc(self.params, planes, self.ops)
 
     # -- all stages ------------------------------------------------------------------------
 
@@ -378,44 +201,17 @@ class TileStages:
         return self.finish(bands)
 
 
-def qcd_delta(params: CodingParameters, resolution: int, orientation: str) -> float:
-    """Quantisation step of one subband, from the parsed QCD fields."""
-    order = subband_order(params.num_levels)
-    try:
-        index = order.index((resolution, orientation))
-    except ValueError:
-        raise DecodingError(
-            f"no QCD entry for resolution {resolution} band {orientation}"
-        ) from None
-    if index >= len(params.step_sizes):
-        raise DecodingError("QCD step sizes missing or inconsistent")
-    range_bits = params.bit_depth + quant.ORIENTATION_GAIN_LOG2[orientation]
-    return params.step_sizes[index].delta(range_bits)
-
-
-def _band_bounds(params: CodingParameters) -> dict:
-    """M_b bounds per (resolution, orientation), from the QCD fields."""
-    order = subband_order(params.num_levels)
-    bounds = {}
-    if params.lossless:
-        if len(params.exponents) != len(order):
-            raise DecodingError("QCD exponents missing or inconsistent")
-        for key, exponent in zip(order, params.exponents):
-            bounds[key] = params.guard_bits + exponent - 1
-    else:
-        if len(params.step_sizes) != len(order):
-            raise DecodingError("QCD step sizes missing or inconsistent")
-        for key, step in zip(order, params.step_sizes):
-            bounds[key] = params.guard_bits + step.exponent - 1
-    return bounds
-
-
 class Jpeg2000Decoder:
     """Decode a codestream into an :class:`~repro.jpeg2000.image.Image`.
 
     ``max_layers`` truncates the quality progression: only the first N
     layers of every packet sequence are entropy-decoded, trading quality
     for rate exactly as a network transcoder would by dropping packets.
+
+    Scheduling is decided once, up front: ``options`` is compiled into a
+    :class:`~repro.jpeg2000.plan.DecodePlan` (or an explicit ``plan`` is
+    taken as-is) and statically validated before any worker spawns; the
+    compiled plan's digest is what benchmarks and ledgers record.
     """
 
     def __init__(
@@ -424,14 +220,24 @@ class Jpeg2000Decoder:
         max_layers: Optional[int] = None,
         max_resolution: Optional[int] = None,
         options: Optional[DecodeOptions] = None,
+        plan: Optional[DecodePlan] = None,
     ):
         self.codestream: Codestream = parse_codestream(data)
         self.max_layers = max_layers
         self.max_resolution = max_resolution
-        self.options = options if options is not None else DEFAULT_OPTIONS
+        if plan is not None:
+            check_plan(plan)
+            self.plan = plan
+            self.options = (
+                options if options is not None else options_for_plan(plan)
+            )
+        else:
+            self.options = options if options is not None else DEFAULT_OPTIONS
+            self.plan = check_plan(compile_plan(self.options))
         if max_resolution is not None and max_resolution < 0:
             raise ValueError("max_resolution must be non-negative")
         self.ops = StageOps()
+        self.fates: Optional[plan_driver.StageFates] = None
 
     @property
     def parameters(self) -> CodingParameters:
@@ -458,184 +264,24 @@ class Jpeg2000Decoder:
             tile_index=tile_index,
         )
 
-    def _finish_tiles(self, stages_list: list, bands_by_tile: list) -> dict:
-        """Stages 2–5 for the given tiles, vectorised across tiles.
-
-        Dequantisation runs per tile (already one NumPy pass per
-        subband); the inverse DWT batches every same-shape tile
-        component per resolution level
-        (:func:`~repro.jpeg2000.dwt.inverse_batch`); the colour
-        transform and DC shift run as fused whole-plane kernels
-        (:meth:`TileStages.finish_mct_dc`).  Values and op counts are
-        exactly those of the per-tile :meth:`TileStages.finish` path.
-        """
-        with telemetry.software_span("stage", "dequant_mct", "decode"):
-            subbands_per_tile = [
-                stages._staged(STAGE_IQ, stages.dequantise, bands)
-                for stages, bands in zip(stages_list, bands_by_tile)
-            ]
-        with telemetry.software_span("stage", "idwt", "decode"):
-            flat_subbands = []
-            counts_list = []
-            slots = []
-            for slot, subbands in enumerate(subbands_per_tile):
-                for component in subbands:
-                    flat_subbands.append(component)
-                    counts_list.append(dwt.DwtOpCounts())
-                    slots.append(slot)
-            planes_flat = dwt.inverse_batch(flat_subbands, counts_list)
-            planes_per_tile: list[list] = [[] for _ in stages_list]
-            for slot, plane, counts in zip(slots, planes_flat, counts_list):
-                planes_per_tile[slot].append(plane)
-                stages_list[slot].ops.add(STAGE_IDWT, counts.total)
-        with telemetry.software_span("stage", "dequant_mct", "decode"):
-            return {
-                stages.tile_index: stages.finish_mct_dc(planes)
-                for stages, planes in zip(stages_list, planes_per_tile)
-            }
-
-    def _tile_planes_sequential(self, stages_list: list) -> dict:
-        """Parse and decode every tile in-process, batched across tiles.
-
-        All tiles' Tier-2 parses run first (fast parser, shared 0xFF
-        index per tile buffer); the Tier-1 stage then decodes every
-        code block of the image in one
-        :func:`~repro.jpeg2000.parallel.decode_blocks_spec` call (one
-        kernel batch for ``kernel="batched"``); reconstruction is the
-        cross-tile vectorised :meth:`_finish_tiles`.
-        """
-        layouts: list = []
-        firsts: list = []
-        sources: list = []
-        spec_pairs: list = []
-        with telemetry.software_span("stage", "t2_parse", "decode"):
-            for stages in stages_list:
-                layout, specs = stages.entropy_specs()
-                layouts.append(layout)
-                firsts.append(len(spec_pairs))
-                source_index = len(sources)
-                sources.append(stages.data)
-                spec_pairs.extend((source_index, spec) for spec in specs)
-        with telemetry.software_span("sw", STAGE_ARITH, "decode"):
-            with telemetry.software_span("stage", "t1_decode", "decode"):
-                flat, offsets, ops = decode_blocks_spec(
-                    sources, spec_pairs, self.options
-                )
-        with telemetry.software_span("stage", "gather", "decode"):
-            bands_by_tile = [
-                stages.scatter_entropy(
-                    layouts[index], flat, offsets, ops, firsts[index]
-                )
-                for index, stages in enumerate(stages_list)
-            ]
-        return self._finish_tiles(stages_list, bands_by_tile)
-
     def _tile_planes(self, grid: TileGrid) -> dict:
-        """Run every tile's pipeline; returns tile index → sample planes.
-
-        The sequential path parses every tile, decodes all code blocks
-        in one in-process batch, and reconstructs with the cross-tile
-        vectorised kernels.  The parallel path streams each tile's
-        Tier-1 chunks to the worker pool as soon as that tile's packet
-        headers are parsed, and gathers + reconstructs completed tiles
-        on the main process while later tiles' entropy chunks are still
-        in flight (:meth:`_tile_planes_overlapped`); with ``overlap``
-        disabled it falls back to the barrier schedule (full parse, one
-        fan-out, then reconstruction).
-        """
+        """Execute the plan over every tile; tile index → sample planes."""
         stages_list = [
             self.tile_stages(tile_index) for tile_index in range(grid.num_tiles)
         ]
-        if self.options.parallel and grid.num_tiles > 1:
-            planes = self._tile_planes_parallel(stages_list)
-        else:
-            planes = self._tile_planes_sequential(stages_list)
+        if self.options.degraded:
+            _warn_degraded(
+                self.options.requested_workers,
+                self.options.effective_workers,
+                "clamped to os.cpu_count()",
+            )
+        self.fates = plan_driver.StageFates(self.plan)
+        planes = plan_driver.run_tiles(
+            self.plan, stages_list,
+            schedule=self.options.schedule_info(), fates=self.fates,
+        )
         for stages in stages_list:
             self.ops.merge(stages.ops)
-        return planes
-
-    def _tile_planes_parallel(self, stages_list: list) -> dict:
-        """Fan the entropy stage out to workers, overlapped when possible."""
-        if self.options.overlap:
-            planes = self._tile_planes_overlapped(stages_list)
-            if planes is not None:
-                return planes
-        return self._tile_planes_barrier(stages_list)
-
-    def _tile_planes_barrier(self, stages_list: list) -> dict:
-        """The non-overlapped parallel schedule: parse all tiles, run one
-        size-aware fan-out over every code block of the image, then
-        reconstruct.  Kept as the fallback when the streaming path is
-        unavailable (no shared memory, no pool, pathological bit
-        depths) and for ``DecodeOptions(overlap=False)``."""
-        sources: list = []
-        spec_pairs: list = []
-        layouts: list = []
-        firsts: list = []
-        with telemetry.software_span("sw", STAGE_ARITH, "decode"):
-            with telemetry.software_span("stage", "t2_parse", "decode"):
-                for stages in stages_list:
-                    layout, specs = stages.entropy_specs()
-                    firsts.append(len(spec_pairs))
-                    source_index = len(sources)
-                    sources.append(stages.data)
-                    spec_pairs.extend((source_index, spec) for spec in specs)
-                    layouts.append(layout)
-            with telemetry.software_span("stage", "t1_decode", "decode"):
-                flat, offsets, ops = decode_blocks_spec(
-                    sources, spec_pairs, self.options
-                )
-        planes: dict[int, list] = {}
-        for tile_index, stages in enumerate(stages_list):
-            with telemetry.software_span("stage", "gather", "decode"):
-                bands = stages.scatter_entropy(
-                    layouts[tile_index], flat, offsets, ops, firsts[tile_index]
-                )
-            planes.update(self._finish_tiles([stages], [bands]))
-        return planes
-
-    def _tile_planes_overlapped(self, stages_list: list) -> Optional[dict]:
-        """Stream Tier-1 chunks to the pool as each tile's spans parse.
-
-        The output arena is laid out from pure geometry
-        (:meth:`TileStages.block_sizes`) before any parsing, so every
-        tile's chunks ship the moment its packet headers are read;
-        tiles then drain in submission order, and each finished tile's
-        gather + reconstruction runs on the main process while the
-        remaining tiles' entropy chunks are still decoding in the
-        workers.  Returns ``None`` when the streaming transport is
-        unusable (caller falls back to the barrier schedule).
-        """
-        sizes: list[int] = []
-        firsts: list[int] = []
-        for stages in stages_list:
-            tile_sizes = stages.block_sizes()
-            firsts.append(len(sizes))
-            sizes.extend(tile_sizes)
-        stream = open_spec_stream(
-            [stages.data for stages in stages_list], sizes, self.options
-        )
-        if stream is None:
-            return None
-        planes: dict[int, list] = {}
-        try:
-            with telemetry.software_span("stage", "t2_parse", "decode"):
-                layouts = []
-                for source_index, stages in enumerate(stages_list):
-                    layout, specs = stages.entropy_specs()
-                    layouts.append(layout)
-                    if not stream.submit_tile(source_index, specs, firsts[source_index]):
-                        return None  # pathological stream: barrier fallback
-            for source_index, stages in enumerate(stages_list):
-                with telemetry.software_span("stage", "t1_decode", "decode"):
-                    flat, offsets, ops = stream.drain_tile(source_index)
-                with telemetry.software_span("stage", "gather", "decode"):
-                    bands = stages.scatter_entropy(
-                        layouts[source_index], flat, offsets, ops
-                    )
-                planes.update(self._finish_tiles([stages], [bands]))
-        finally:
-            stream.close()
         return planes
 
     def decode(self) -> Image:
@@ -647,6 +293,7 @@ class Jpeg2000Decoder:
                 width=params.width, height=params.height,
                 components=params.num_components, tiles=grid.num_tiles,
                 schedule=self.options.schedule_info(),
+                plan=self.plan.digest(),
                 max_layers=self.max_layers,
                 max_resolution=self.max_resolution,
             )
@@ -669,46 +316,20 @@ class Jpeg2000Decoder:
         params = self.parameters
         if self.max_resolution is None:
             tile_planes = self._tile_planes(grid)
-            components = [
-                np.zeros((params.height, params.width), dtype=np.int64)
-                for _ in range(params.num_components)
-            ]
-            for tile_index in range(grid.num_tiles):
-                for component, plane in zip(components, tile_planes[tile_index]):
-                    grid.insert(component, tile_index, plane)
-            return Image(components=components, bit_depth=params.bit_depth)
-        return self._decode_reduced(grid)
-
-    def _decode_reduced(self, grid: TileGrid) -> Image:
-        """Assemble the resolution-truncated mosaic (tiles shrink per axis)."""
-        params = self.parameters
-        tile_planes = self._tile_planes(grid)
-        # Cumulative offsets from the reduced per-tile sizes.
-        widths = [
-            tile_planes[tx][0].shape[1] for tx in range(grid.tiles_across)
-        ]
-        heights = [
-            tile_planes[ty * grid.tiles_across][0].shape[0]
-            for ty in range(grid.tiles_down)
-        ]
-        total_w, total_h = sum(widths), sum(heights)
-        components = [
-            np.zeros((total_h, total_w), dtype=np.int64)
-            for _ in range(params.num_components)
-        ]
-        y_offset = 0
-        for ty in range(grid.tiles_down):
-            x_offset = 0
-            for tx in range(grid.tiles_across):
-                planes = tile_planes[ty * grid.tiles_across + tx]
-                height, width = planes[0].shape
-                for component, plane in zip(components, planes):
-                    component[y_offset:y_offset + height, x_offset:x_offset + width] = plane
-                x_offset += width
-            y_offset += heights[ty]
-        return Image(components=components, bit_depth=params.bit_depth)
+            self.fates.begin(STAGE_ASSEMBLE)
+            image = assemble_stage.assemble_full(grid, params, tile_planes)
+        else:
+            tile_planes = self._tile_planes(grid)
+            self.fates.begin(STAGE_ASSEMBLE)
+            image = assemble_stage.assemble_reduced(grid, params, tile_planes)
+        self.fates.done(STAGE_ASSEMBLE)
+        return image
 
 
-def decode_codestream(data: bytes, options: Optional[DecodeOptions] = None) -> Image:
-    """Convenience one-shot decode."""
-    return Jpeg2000Decoder(data, options=options).decode()
+def decode_codestream(
+    data: bytes,
+    options: Optional[DecodeOptions] = None,
+    plan: Optional[DecodePlan] = None,
+) -> Image:
+    """Convenience one-shot decode (plan-compile + execute)."""
+    return Jpeg2000Decoder(data, options=options, plan=plan).decode()

@@ -1,0 +1,13 @@
+"""Decoder-level error types, shared by the stage modules.
+
+Lives in its own module so the stage implementations
+(:mod:`repro.jpeg2000.stages`) and the public façade
+(:mod:`repro.jpeg2000.decoder`) can both raise/catch the same types
+without importing each other.
+"""
+
+from __future__ import annotations
+
+
+class DecodingError(RuntimeError):
+    """The codestream is structurally valid but cannot be decoded."""

@@ -1,0 +1,283 @@
+"""Decode scheduling options and the block-level work descriptors.
+
+:class:`DecodeOptions` is the *request* side of the decode stack: a
+frozen, canonically-serialisable record of how the caller wants the
+entropy stage scheduled (workers, chunking, kernel, transport, start
+method, overlap).  The planner (:mod:`repro.jpeg2000.plan`) compiles it
+— together with the host environment — into an explicit
+:class:`~repro.jpeg2000.plan.DecodePlan`; nothing below the planner
+reads :class:`DecodeOptions` directly.
+
+:class:`BlockSpec` is the parse→entropy interface: one code block's
+geometry plus the ``(start, end)`` codeword segment spans into its tile
+buffer, small enough to pickle by the thousand and precise enough to
+resolve zero-copy inside a shared-memory arena.
+
+This module is the import root of the decode stack (no dependencies on
+the stages, the planner, or the driver), so every layer can share the
+option vocabulary without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import telemetry
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    shared_memory = None
+
+#: Kernel names accepted by :class:`DecodeOptions`.
+KERNEL_FAST = "fast"
+KERNEL_REFERENCE = "reference"
+KERNEL_BATCHED = "batched"
+_KERNELS = (KERNEL_FAST, KERNEL_REFERENCE, KERNEL_BATCHED)
+
+#: Tier-2 parser selection accepted by :class:`DecodeOptions`.
+TIER2_FAST = "fast"
+TIER2_REFERENCE = "reference"
+_TIER2 = (TIER2_FAST, TIER2_REFERENCE)
+
+#: Pool start methods accepted by :class:`DecodeOptions` (None = platform
+#: default).
+_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+#: A picklable per-block decode task:
+#: (data, width, height, orientation, num_bitplanes, num_passes).
+BlockTask = tuple
+
+#: Shared-memory arena name prefix — short enough for macOS's 31-char
+#: shm_open limit, distinctive enough for the leak checks in CI.
+ARENA_PREFIX = "repro-j2k-"
+
+#: Blocks with more bit planes than this cannot be carried in the int32
+#: output arena; such (pathological) streams take the pickle path.
+_MAX_ARENA_BITPLANES = 30
+
+
+class ParallelDegradedWarning(RuntimeWarning):
+    """A parallel decode request is actually running sequentially."""
+
+
+#: Warn once per distinct degradation, not once per tile.
+_degradations_warned: set = set()
+
+
+def _warn_degraded(requested: int, effective: int, reason: str) -> None:
+    # Metrics and the structured log see *every* degradation occurrence
+    # (a degraded run is diagnosable after the fact); the warning itself
+    # is deduplicated so a 16-tile decode does not print 16 times.
+    telemetry.count("jpeg2000.parallel.degraded")
+    telemetry.count(
+        "jpeg2000.parallel.degraded_total{reason=%s}" % reason
+    )
+    telemetry.log_event(
+        "parallel.degraded",
+        reason=reason, requested=requested, effective=effective,
+    )
+    flight = telemetry.flight_recorder()
+    if flight is not None:
+        flight.dump("parallel-degraded")
+    key = (requested, effective, reason)
+    if key in _degradations_warned:
+        return
+    _degradations_warned.add(key)
+    warnings.warn(
+        f"parallel decode requested {requested} workers but is running "
+        f"with {effective} ({reason}); wall-clock numbers from this run "
+        f"are sequential numbers",
+        ParallelDegradedWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class DecodeOptions:
+    """How the entropy-decode stage schedules its code-block kernel.
+
+    ``workers``
+        Worker processes for block decoding.  0 or 1 decodes
+        sequentially in-process; ``None`` picks ``os.cpu_count()``.
+    ``chunk_size``
+        Upper bound on blocks per unit of work shipped to a worker;
+        larger chunks amortise per-chunk overhead, smaller chunks
+        balance better.  The shared-memory scheduler plans size-aware
+        chunks up to this bound.
+    ``kernel``
+        ``"fast"`` (the optimised ``t1_fast`` kernel, default),
+        ``"batched"`` (the chunk-at-a-time ``t1_fast`` entry point —
+        what shared-memory workers always run), or ``"reference"``
+        (the readable ``t1`` specification kernel).
+    ``shared_memory``
+        Allow the zero-copy shared-memory transport (default).  Off, or
+        when arenas cannot be created, the pickle transport is used.
+    ``start_method``
+        Multiprocessing start method for the pool (``None`` = platform
+        default; ``"fork"``/``"spawn"``/``"forkserver"``).
+    ``oversubscribe``
+        Allow more workers than ``os.cpu_count()``.  Off by default:
+        extra workers usually only add overhead — but tests (and hosts
+        whose workers stall on IO) may want real worker processes even
+        on a small machine.
+    ``tier2``
+        Packet-header parser: ``"fast"`` (word-at-a-time
+        ``FastBitReader`` + array-backed tag trees, default) or
+        ``"reference"`` (the bit-by-bit specification reader).  Both
+        parse bit-for-bit identically.
+    ``overlap``
+        Stream Tier-1 chunks to the workers while later tiles are still
+        being parsed, and finish (gather/DWT/MCT) completed tiles on the
+        main process during the flight (default).  Off serialises the
+        stages: full parse, then fan-out, then reconstruction.  Only
+        affects the parallel shared-memory path; results are identical
+        either way.
+    """
+
+    workers: Optional[int] = 0
+    chunk_size: int = 8
+    kernel: str = KERNEL_FAST
+    shared_memory: bool = True
+    start_method: Optional[str] = None
+    oversubscribe: bool = False
+    tier2: str = TIER2_FAST
+    overlap: bool = True
+
+    def __post_init__(self):
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be None or >= 0")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
+        if self.start_method not in _START_METHODS:
+            raise ValueError(f"start_method must be one of {_START_METHODS}")
+        if self.tier2 not in _TIER2:
+            raise ValueError(f"tier2 must be one of {_TIER2}")
+
+    @property
+    def requested_workers(self) -> int:
+        """The worker count as asked for, before any host clamping."""
+        return (os.cpu_count() or 1) if self.workers is None else self.workers
+
+    @property
+    def effective_workers(self) -> int:
+        # Clamped to the host's CPU count unless oversubscription is
+        # explicitly requested: extra workers only add pool and transport
+        # overhead.  A clamp that turns a parallel request sequential is
+        # *reported* (ParallelDegradedWarning) by the decode entry points.
+        requested = self.requested_workers
+        if self.oversubscribe:
+            return requested
+        return min(requested, os.cpu_count() or 1)
+
+    @property
+    def parallel(self) -> bool:
+        return self.effective_workers > 1
+
+    @property
+    def degraded(self) -> bool:
+        """True when a parallel request will actually run sequentially."""
+        return self.requested_workers > 1 and not self.parallel
+
+    @property
+    def granularity(self) -> str:
+        """Scheduling granularity label recorded in benchmark payloads."""
+        if not self.parallel:
+            return "codeblock/sequential"
+        if self.shared_memory and shared_memory is not None:
+            return "codeblock/size-aware"
+        return "codeblock/fixed"
+
+    def as_dict(self) -> dict:
+        """Canonical plain-data form: exactly the dataclass fields.
+
+        This is the *identity* of an options value — the planner compiles
+        from it and the experiment cache fingerprints it — so two
+        equal-valued instances always serialise identically, and every
+        field flip changes the serialisation.
+        """
+        return {
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "kernel": self.kernel,
+            "shared_memory": self.shared_memory,
+            "start_method": self.start_method,
+            "oversubscribe": self.oversubscribe,
+            "tier2": self.tier2,
+            "overlap": self.overlap,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecodeOptions":
+        """Rebuild from :meth:`as_dict` output (unknown keys rejected)."""
+        return cls(**data)
+
+    def schedule_info(self) -> dict:
+        """The scheduling facts a benchmark row must carry (schema v3)."""
+        return {
+            "requested_workers": self.requested_workers,
+            "effective_workers": self.effective_workers,
+            "degraded": self.degraded,
+            "chunk_size": self.chunk_size,
+            "kernel": self.kernel,
+            "tier2": self.tier2,
+            "overlap": self.overlap,
+            "granularity": self.granularity,
+            "shared_memory": self.shared_memory,
+            "start_method": self.start_method,
+            "oversubscribe": self.oversubscribe,
+        }
+
+
+#: Default options: sequential, fast kernel.
+DEFAULT_OPTIONS = DecodeOptions()
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One code block's geometry plus its codeword's segment spans.
+
+    The spans point into a *source* buffer (a tile-part's bytes) that is
+    shipped to the workers once, via the shared input arena — the spec
+    itself is a few dozen bytes of picklable metadata, which is the whole
+    point of the zero-copy protocol.
+    """
+
+    width: int
+    height: int
+    orientation: str
+    num_bitplanes: int
+    num_passes: Optional[int]
+    segments: tuple = ()
+
+    @property
+    def size(self) -> int:
+        return self.width * self.height
+
+    @property
+    def cost(self) -> int:
+        """Scheduling weight: codeword bytes dominate decode time."""
+        return sum(end - start for start, end in self.segments) + 1
+
+    def codeword(self, source) -> bytes:
+        """The block's MQ codeword, joined from its spans into *source*."""
+        segments = self.segments
+        if len(segments) == 1:
+            start, end = segments[0]
+            return bytes(source[start:end])
+        return b"".join(bytes(source[start:end]) for start, end in segments)
+
+    def rebased(self, base: int) -> "BlockSpec":
+        """The same spec with spans shifted by *base* (arena placement)."""
+        if not base:
+            return self
+        return BlockSpec(
+            self.width, self.height, self.orientation,
+            self.num_bitplanes, self.num_passes,
+            tuple((start + base, end + base) for start, end in self.segments),
+        )

@@ -1,0 +1,57 @@
+"""The assemble stage: the tile mosaic.
+
+Places every decoded tile's component planes into the full image frame
+(:func:`assemble_full`), or packs the shrunken tiles of a
+resolution-truncated decode edge to edge (:func:`assemble_reduced`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codestream import CodingParameters
+from ..image import Image, TileGrid
+
+
+def assemble_full(
+    grid: TileGrid, params: CodingParameters, tile_planes: dict
+) -> Image:
+    """The full-resolution mosaic: each tile lands at its grid bounds."""
+    components = [
+        np.zeros((params.height, params.width), dtype=np.int64)
+        for _ in range(params.num_components)
+    ]
+    for tile_index in range(grid.num_tiles):
+        for component, plane in zip(components, tile_planes[tile_index]):
+            grid.insert(component, tile_index, plane)
+    return Image(components=components, bit_depth=params.bit_depth)
+
+
+def assemble_reduced(
+    grid: TileGrid, params: CodingParameters, tile_planes: dict
+) -> Image:
+    """Assemble the resolution-truncated mosaic (tiles shrink per axis)."""
+    # Cumulative offsets from the reduced per-tile sizes.
+    widths = [
+        tile_planes[tx][0].shape[1] for tx in range(grid.tiles_across)
+    ]
+    heights = [
+        tile_planes[ty * grid.tiles_across][0].shape[0]
+        for ty in range(grid.tiles_down)
+    ]
+    total_w, total_h = sum(widths), sum(heights)
+    components = [
+        np.zeros((total_h, total_w), dtype=np.int64)
+        for _ in range(params.num_components)
+    ]
+    y_offset = 0
+    for ty in range(grid.tiles_down):
+        x_offset = 0
+        for tx in range(grid.tiles_across):
+            planes = tile_planes[ty * grid.tiles_across + tx]
+            height, width = planes[0].shape
+            for component, plane in zip(components, planes):
+                component[y_offset:y_offset + height, x_offset:x_offset + width] = plane
+            x_offset += width
+        y_offset += heights[ty]
+    return Image(components=components, bit_depth=params.bit_depth)

@@ -29,8 +29,11 @@ SCHEMA_VERSION = 1
 #: never silently be a sequential run.  v3 added the per-variant
 #: ``stage_shares`` block (t2_parse / t1_decode / idwt / dequant_mct /
 #: gather wall-time fractions) so each recorded number carries its own
-#: Amdahl decomposition.
-DECODE_SCHEMA_VERSION = 3
+#: Amdahl decomposition.  v4 added the per-variant ``plans`` block (the
+#: compiled, validated DecodePlan and its digest) so every row is
+#: labelled by the exact plan that produced it, not just the options
+#: that requested it.
+DECODE_SCHEMA_VERSION = 4
 
 
 def machine_info() -> dict:
@@ -83,6 +86,9 @@ class DecodeBench:
         #: ``t2_parse``/``t1_decode``/``idwt``/``dequant_mct``/``gather``
         #: decomposition from the decode-pipeline telemetry spans).
         self.stage_shares: dict[str, dict[str, dict[str, float]]] = {}
+        #: Per-variant compiled decode plan (digest + stage bindings):
+        #: the row label that ties a wall-clock number to what ran.
+        self.plans: dict[str, dict] = {}
 
     def record(self, mode: str, name: str, seconds: float) -> None:
         self.modes.setdefault(mode, {})[name] = seconds
@@ -90,6 +96,11 @@ class DecodeBench:
     def record_schedule(self, name: str, info: dict) -> None:
         """Attach scheduling metadata to the variant *name*."""
         self.schedules[name] = dict(info)
+
+    def record_plan(self, name: str, plan: dict) -> None:
+        """Attach the compiled plan record (``{"digest", "stages"}``,
+        i.e. digest + ``DecodePlan.as_dict()``) to the variant *name*."""
+        self.plans[name] = dict(plan)
 
     def record_stages(self, mode: str, name: str, shares: dict) -> None:
         """Attach a stage-share decomposition to (*mode*, *name*)."""
@@ -146,6 +157,7 @@ class DecodeBench:
             "workload": self.workload,
             "baseline": self.baseline,
             "schedules": self.schedules,
+            "plans": self.plans,
             "modes": modes,
         }
         result.update(extra)

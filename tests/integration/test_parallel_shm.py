@@ -26,8 +26,8 @@ from repro.jpeg2000 import (
     shutdown_pool,
     synthetic_image,
 )
-from repro.jpeg2000 import parallel
-from repro.jpeg2000.parallel import ARENA_PREFIX
+from repro.jpeg2000.options import ARENA_PREFIX
+from repro.jpeg2000.stages import entropy
 
 pytest.importorskip("multiprocessing.shared_memory")
 
@@ -92,13 +92,13 @@ def test_no_segments_survive_shutdown(codestream):
     )
     shutdown_pool()
     assert _shm_segments() == []
-    assert parallel._live_arenas == {}
+    assert entropy._live_arenas == {}
 
 
 def test_shutdown_sweeps_orphaned_arena():
     """An arena abandoned mid-flight (no decode completed it) is still
     unlinked by shutdown_pool — the crash-safety backstop."""
-    arena = parallel.SharedArena(128)
+    arena = entropy.SharedArena(128)
     assert _shm_segments() != []
     shutdown_pool()
     assert _shm_segments() == []
@@ -116,7 +116,7 @@ def test_worker_crash_leaves_no_segments_and_correct_output(
     sequential, seq_ops = _decode(codestream, DecodeOptions())
 
     parent_pid = os.getpid()
-    real = parallel.decode_codeblock_batch
+    real = entropy.decode_codeblock_batch
     state = {"killed": False}
 
     def crashing_batch(batch, out=None):
@@ -127,7 +127,7 @@ def test_worker_crash_leaves_no_segments_and_correct_output(
             os._exit(1)
         return real(batch, out)
 
-    monkeypatch.setattr(parallel, "decode_codeblock_batch", crashing_batch)
+    monkeypatch.setattr(entropy, "decode_codeblock_batch", crashing_batch)
     crashed_image, crashed_ops = _decode(
         codestream,
         DecodeOptions(
@@ -139,4 +139,4 @@ def test_worker_crash_leaves_no_segments_and_correct_output(
     assert crashed_ops.counts == seq_ops.counts
     shutdown_pool()
     assert _shm_segments() == []
-    assert parallel._live_arenas == {}
+    assert entropy._live_arenas == {}

@@ -7,6 +7,7 @@ import pytest
 
 from repro import telemetry
 from repro.jpeg2000 import parallel
+from repro.jpeg2000.stages import entropy
 from repro.jpeg2000.parallel import (
     BlockSpec,
     DecodeOptions,
@@ -128,7 +129,7 @@ class TestDecodeBlocks:
     def test_pool_failure_falls_back_to_sequential(self, monkeypatch):
         tasks, expected = zip(*(_encode_block(seed) for seed in range(3)))
         monkeypatch.setattr(
-            parallel, "_get_pool", lambda workers, start_method=None: None
+            entropy, "_get_pool", lambda workers, start_method=None: None
         )
         parallel._degradations_warned.clear()
         with pytest.warns(parallel.ParallelDegradedWarning):
@@ -139,15 +140,15 @@ class TestDecodeBlocks:
             assert values.tolist() == coeffs
 
     def test_pool_is_cached_per_worker_count(self):
-        first = parallel._get_pool(2)
-        second = parallel._get_pool(2)
+        first = entropy._get_pool(2)
+        second = entropy._get_pool(2)
         assert first is second
         shutdown_pool()
-        assert parallel._pool is None
+        assert entropy._pool is None
 
     def test_pool_recreated_on_start_method_change(self):
-        first = parallel._get_pool(2, None)
-        second = parallel._get_pool(2, "fork")
+        first = entropy._get_pool(2, None)
+        second = entropy._get_pool(2, "fork")
         assert first is not second
         shutdown_pool()
 
@@ -351,7 +352,7 @@ class TestBrokenPoolResume:
             pytest.skip("fork start method unavailable")
         tasks, expected = zip(*(_encode_block(seed) for seed in range(6)))
         marker = str(tmp_path / "chunk-done")
-        real = parallel._decode_tasks_sequential
+        real = entropy._decode_tasks_sequential
         parent_pid = os.getpid()
         bomb_data = tasks[-1][0]
 
@@ -362,7 +363,7 @@ class TestBrokenPoolResume:
             )
 
         shutdown_pool()  # the bomb must be in place before the fork
-        monkeypatch.setattr(parallel, "_decode_tasks_sequential", bomb)
+        monkeypatch.setattr(entropy, "_decode_tasks_sequential", bomb)
         recorder = telemetry.install()
         try:
             results = decode_blocks(
@@ -475,7 +476,7 @@ class TestCrashReport:
             pytest.skip("fork start method unavailable")
         tasks, expected = zip(*(_encode_block(seed) for seed in range(6)))
         marker = str(tmp_path / "chunk-done")
-        real = parallel._decode_tasks_sequential
+        real = entropy._decode_tasks_sequential
         parent_pid = os.getpid()
         bomb_data = tasks[-1][0]
 
@@ -486,7 +487,7 @@ class TestCrashReport:
             )
 
         shutdown_pool()  # the bomb must be in place before the fork
-        monkeypatch.setattr(parallel, "_decode_tasks_sequential", bomb)
+        monkeypatch.setattr(entropy, "_decode_tasks_sequential", bomb)
         telemetry.install_log()
         telemetry.install_flight(FlightRecorder(crash_dir=tmp_path))
         try:

@@ -71,6 +71,27 @@ def test_payload_carries_schedule_metadata():
     assert schedule["degraded"] is True
 
 
+def test_payload_carries_plan_labels():
+    from repro.jpeg2000.options import DecodeOptions
+    from repro.jpeg2000.plan import PlanEnvironment, compile_plan
+
+    plan = compile_plan(
+        DecodeOptions(workers=4),
+        PlanEnvironment(cpu_count=8, shared_memory_available=True),
+    )
+    bench = DecodeBench({"tiles": 16}, baseline="reference")
+    bench.record("lossless", "parallel-shm-4", 3.0)
+    bench.record_plan(
+        "parallel-shm-4", {"digest": plan.digest(), **plan.as_dict()}
+    )
+    payload = bench.payload()
+    record = payload["plans"]["parallel-shm-4"]
+    assert record["digest"] == plan.digest()
+    assert [s["stage"] for s in record["stages"]] == [
+        "parse", "entropy", "reconstruct", "assemble",
+    ]
+
+
 def test_payload_carries_stage_shares():
     bench = DecodeBench({"tiles": 16}, baseline="reference")
     bench.record("lossless", "batched-sequential", 3.0)

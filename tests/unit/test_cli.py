@@ -221,6 +221,81 @@ class TestExperimentCli:
 class TestObservabilityCli:
     """Ledger, sentinel, events, and Prometheus subcommand surfaces."""
 
+    def test_plan_decode_is_byte_deterministic(self, capsys):
+        assert main(["plan", "decode", "--workers", "4", "--cpus", "8"]) == 0
+        first = capsys.readouterr().out
+        assert main(["plan", "decode", "--workers", "4", "--cpus", "8"]) == 0
+        assert capsys.readouterr().out == first
+        assert first.startswith("DecodePlan ")
+        assert "transport=arena" in first
+
+    def test_plan_decode_env_overrides_change_the_plan(self, capsys):
+        import json
+
+        assert main([
+            "plan", "decode", "--workers", "4", "--cpus", "8",
+            "--assume-no-shm", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entropy = next(
+            s for s in payload["stages"] if s["stage"] == "entropy"
+        )
+        assert entropy["executor"]["transport"] == "pickle"
+        assert entropy["executor"]["overlap"] is False
+        # Host clamp: 4 workers on a 1-CPU host compile to inline.
+        assert main([
+            "plan", "decode", "--workers", "4", "--cpus", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entropy = next(
+            s for s in payload["stages"] if s["stage"] == "entropy"
+        )
+        assert entropy["executor"]["kind"] == "inline"
+
+    def test_plan_decode_matches_library_digest(self, capsys):
+        from repro.jpeg2000.options import DecodeOptions
+        from repro.jpeg2000.plan import PlanEnvironment, compile_plan
+
+        assert main([
+            "plan", "decode", "--workers", "2", "--kernel", "reference",
+            "--cpus", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        plan = compile_plan(
+            DecodeOptions(workers=2, kernel="reference"),
+            PlanEnvironment(cpu_count=4, shared_memory_available=True),
+        )
+        assert out.splitlines()[0] == f"DecodePlan {plan.digest()[:12]}"
+        assert out.rstrip().splitlines()[-1] == plan.canonical_json()
+
+    def test_plan_decode_appends_ledger_record(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.telemetry import ledger
+
+        path = tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["plan", "decode", "--workers", "2", "--cpus", "4"]) == 0
+        capsys.readouterr()
+        (record,) = ledger.read_ledger(path)
+        assert record["kind"] == "plan"
+        assert len(record["plan_hash"]) == 64
+        assert record["options"]["workers"] == 2
+        assert record["environment"]["cpu_count"] == 4
+
+    def test_profile_decode_ledger_carries_plan_hash(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.telemetry import ledger
+
+        path = tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["profile", "decode", "--size", "64"]) == 0
+        capsys.readouterr()
+        (record,) = ledger.read_ledger(path)
+        assert record["kind"] == "decode"
+        assert len(record["plan_hash"]) == 64
+
     def test_run_appends_ledger_record(self, tmp_path, monkeypatch, capsys):
         from repro.telemetry import ledger
 
